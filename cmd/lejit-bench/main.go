@@ -1,0 +1,130 @@
+// Command lejit-bench regenerates the paper's evaluation figures (§4,
+// Figures 3–5) plus the design-choice ablations, printing each as an
+// aligned text table. Results for the committed scales are recorded in
+// EXPERIMENTS.md.
+//
+// Examples:
+//
+//	lejit-bench                      # all figures at the default scale
+//	lejit-bench -scale tiny          # fast smoke run
+//	lejit-bench -fig 3l,3r           # just Fig 3
+//	lejit-bench -testn 1000 -samplen 2000   # bigger evaluation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scale := flag.String("scale", "default", "default|tiny")
+	figs := flag.String("fig", "all", "comma-separated: 3l,3r,4l,4r,5,abl (or all)")
+	testN := flag.Int("testn", 0, "override test-record count")
+	sampleN := flag.Int("samplen", 0, "override synthesis sample count")
+	racks := flag.Int("racks", 0, "override total rack count")
+	windows := flag.Int("windows", 0, "override windows per rack")
+	epochs := flag.Int("epochs", 0, "override training epochs")
+	cache := flag.String("cache", "artifacts", "model cache directory ('' disables)")
+	seed := flag.Int64("seed", 0, "override seed")
+	quiet := flag.Bool("q", false, "suppress progress logs")
+	flag.Parse()
+
+	var sc experiments.ScaleConfig
+	switch *scale {
+	case "default":
+		sc = experiments.DefaultScale()
+	case "tiny":
+		sc = experiments.TinyScale()
+	default:
+		fmt.Fprintf(os.Stderr, "lejit-bench: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	if *testN > 0 {
+		sc.TestN = *testN
+	}
+	if *sampleN > 0 {
+		sc.SampleN = *sampleN
+	}
+	if *racks > 0 {
+		sc.Racks = *racks
+	}
+	if *windows > 0 {
+		sc.WindowsPerRack = *windows
+	}
+	if *epochs > 0 {
+		sc.Epochs = *epochs
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+	sc.CacheDir = *cache
+	sc.Quiet = *quiet
+
+	want := map[string]bool{}
+	for _, f := range strings.Split(*figs, ",") {
+		want[strings.TrimSpace(f)] = true
+	}
+	all := want["all"]
+
+	env, err := experiments.Prepare(sc)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("# LeJIT benchmark — scale=%s racks=%d windows/rack=%d testN=%d sampleN=%d\n",
+		*scale, sc.Racks, sc.WindowsPerRack, sc.TestN, sc.SampleN)
+	fmt.Printf("# mined rules: %d (imputation) / %d (synthesis); model: %d params\n\n",
+		env.ImputeRules.Len(), env.SynthRules.Len(), env.Model.NumParams())
+
+	if all || want["3l"] || want["3r"] || want["4l"] || want["4r"] {
+		rs, err := experiments.RunImputation(env)
+		if err != nil {
+			fatal(err)
+		}
+		if all || want["3l"] {
+			fmt.Println(experiments.Fig3LeftTable(rs).Render())
+		}
+		if all || want["3r"] {
+			fmt.Println(experiments.Fig3RightTable(rs).Render())
+		}
+		if all || want["4l"] {
+			fmt.Println(experiments.Fig4LeftTable(rs).Render())
+		}
+		if all || want["4r"] {
+			fmt.Println(experiments.Fig4RightTable(rs).Render())
+		}
+	}
+	if all || want["5"] {
+		ss, err := experiments.RunSynthesis(env)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.Fig5Table(ss).Render())
+		fmt.Println(experiments.Fig5RuntimeTable(ss).Render())
+	}
+	if all || want["abl"] {
+		ab, err := experiments.RunRuleSetSizeAblation(env, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.AblationTable("Ablation: rule-set size sweep (violations measured vs the FULL mined set)", ab).Render())
+		cb, err := experiments.RunCacheAblation(env)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.AblationTable("Ablation: per-slot oracle cache", cb).Render())
+		db, err := experiments.RunDecodeStrategyAblation(env, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.AblationTable("Ablation: decoding strategy (sampling vs greedy vs beam)", db).Render())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lejit-bench:", err)
+	os.Exit(1)
+}

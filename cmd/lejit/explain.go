@@ -1,0 +1,122 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/rules"
+	"repro/internal/vocab"
+)
+
+// cmdExplain decodes a single record with the trace hook enabled and prints
+// a step-by-step view of LeJIT's masking — the paper's Fig 1b as text:
+// which characters the rules allowed, which were pruned, and what the model
+// picked.
+func cmdExplain(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	modelPath := fs.String("model", "model.gob", "trained model file")
+	rulePath := fs.String("rules", "", "rule file (required)")
+	seed := fs.Int64("seed", 1, "sampling seed")
+	temp := fs.Float64("temp", 0.9, "sampling temperature")
+	testSeed := fs.Int64("test-seed", 99, "simulator seed for the prompt")
+	fs.Parse(args)
+	if *rulePath == "" {
+		return fmt.Errorf("-rules is required")
+	}
+
+	f, err := os.Open(*modelPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	m, err := nn.Load(f)
+	if err != nil {
+		return err
+	}
+	schema := dataset.Schema()
+	src, err := os.ReadFile(*rulePath)
+	if err != nil {
+		return err
+	}
+	rs, err := rules.ParseRuleSet(string(src), schema)
+	if err != nil {
+		return err
+	}
+	slots, err := core.TelemetryGrammar(schema, dataset.CoarseFields(), dataset.FineField)
+	if err != nil {
+		return err
+	}
+
+	tok := vocab.Telemetry()
+	var steps []core.TraceStep
+	eng, err := core.NewEngine(core.Config{
+		LM: core.WrapNN(m), Tok: tok, Schema: schema,
+		Rules: rs, Slots: slots, Temperature: *temp,
+		TraceHook: func(s core.TraceStep) { steps = append(steps, s) },
+	})
+	if err != nil {
+		return err
+	}
+
+	// One simulated prompt.
+	ws := dataset.Generate(dataset.Config{Racks: 1, WindowsPerRack: 1, Seed: *testSeed})
+	known := rules.Record{}
+	for _, fn := range dataset.CoarseFields() {
+		known[fn] = ws[0].Rec[fn]
+	}
+	fmt.Printf("prompt (coarse counters): %s\n", strings.TrimSuffix(dataset.Prompt(ws[0].Rec), "|"))
+	fmt.Printf("enforcing %d rules; generating %s[0..%d]\n\n", rs.Len(), dataset.FineField, dataset.T-1)
+
+	rng := rand.New(rand.NewSource(*seed))
+	res, err := eng.Impute(known, rng)
+	if err != nil {
+		if _, ok := err.(core.ErrInfeasible); ok {
+			culprits, derr := eng.DiagnoseInfeasible(known)
+			if derr == nil {
+				return fmt.Errorf("prompt infeasible; minimal conflicting rule set: %v", culprits)
+			}
+		}
+		return err
+	}
+
+	renderTok := func(id int) string {
+		if !tok.IsChar(id) {
+			return "?"
+		}
+		c := tok.Char(id)
+		if c == '\n' {
+			return "⏎"
+		}
+		return string(c)
+	}
+	for i, s := range steps {
+		var allowed []string
+		for _, id := range s.Admissible {
+			allowed = append(allowed, renderTok(id))
+		}
+		pruned := s.Structural - len(s.Admissible)
+		note := ""
+		if pruned > 0 {
+			note = fmt.Sprintf("  ← pruned %d option(s)", pruned)
+		}
+		if len(s.Admissible) == 1 && pruned > 0 {
+			note += " (forced)"
+		}
+		fmt.Printf("step %2d  %s[%d] prefix %-3s  allowed {%s}  model chose %q%s\n",
+			i+1, s.Field, s.Index, s.Prefix, strings.Join(allowed, " "), renderTok(s.Chosen), note)
+	}
+	fmt.Printf("\nresult: %s", dataset.Format(res.Rec))
+	viol, err := rs.Violations(res.Rec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("violations: %v  (solver checks: %d, masked steps: %d, forced: %d)\n",
+		viol, res.Stats.SolverChecks, res.Stats.MaskedSteps, res.Stats.ForcedSteps)
+	return nil
+}

@@ -1,0 +1,243 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/rules"
+)
+
+func TestCmdSimulate(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "data.txt")
+	if err := cmdSimulate([]string{"-racks", "2", "-windows", "5", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 10 {
+		t.Fatalf("got %d lines, want 10", len(lines))
+	}
+	for i, line := range lines {
+		if _, err := dataset.ParseLine(line); err != nil {
+			t.Fatalf("line %d unparseable: %v", i, err)
+		}
+	}
+}
+
+func TestCmdMine(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "rules.txt")
+	if err := cmdMine([]string{"-racks", "4", "-windows", "30", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	src, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := rules.ParseRuleSet(string(src), dataset.Schema())
+	if err != nil {
+		t.Fatalf("mined rules do not re-parse: %v", err)
+	}
+	if rs.Len() == 0 {
+		t.Fatal("no rules mined")
+	}
+}
+
+func TestCmdMineCoarseOnly(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "rules.txt")
+	if err := cmdMine([]string{"-racks", "4", "-windows", "30", "-coarse-only", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	src, _ := os.ReadFile(out)
+	if strings.Contains(string(src), "I[") {
+		t.Error("coarse-only mining emitted fine-grained rules")
+	}
+}
+
+// TestCmdTrainImputeCheck drives the full CLI workflow end to end with a
+// deliberately tiny model.
+func TestCmdTrainImputeCheck(t *testing.T) {
+	dir := t.TempDir()
+	model := filepath.Join(dir, "model.gob")
+	rulesPath := filepath.Join(dir, "rules.txt")
+
+	if err := cmdTrain([]string{
+		"-racks", "3", "-windows", "20", "-epochs", "1",
+		"-dim", "16", "-layers", "1", "-heads", "2", "-o", model,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdMine([]string{"-racks", "3", "-windows", "20", "-o", rulesPath}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Impute with LeJIT: capture stdout, verify compliant records.
+	out := captureStdout(t, func() {
+		if err := cmdDecode([]string{
+			"-model", model, "-rules", rulesPath, "-n", "2", "-mode", "lejit",
+		}, true); err != nil {
+			t.Fatal(err)
+		}
+	})
+	checked := 0
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if _, err := dataset.ParseLine(line); err != nil {
+			t.Fatalf("impute output unparseable: %v (%q)", err, line)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no imputed records produced")
+	}
+	if strings.Contains(out, "violations:") {
+		t.Errorf("LeJIT output reports violations:\n%s", out)
+	}
+
+	// Generate unconditionally, structure mode (no rules needed).
+	out = captureStdout(t, func() {
+		if err := cmdDecode([]string{
+			"-model", model, "-n", "2", "-mode", "structure",
+		}, false); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if strings.TrimSpace(out) == "" {
+		t.Fatal("no generated records")
+	}
+
+	// Check: feed simulated (ground-truth) data through cmdCheck — by
+	// construction it satisfies all mined rules.
+	dataPath := filepath.Join(dir, "data.txt")
+	if err := cmdSimulate([]string{"-racks", "3", "-windows", "20", "-o", dataPath}); err != nil {
+		t.Fatal(err)
+	}
+	withStdin(t, dataPath, func() {
+		out = captureStdout(t, func() {
+			if err := cmdCheck([]string{"-rules", rulesPath}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	})
+	if !strings.Contains(out, "0 non-compliant") {
+		t.Errorf("ground-truth data flagged non-compliant:\n%s", out)
+	}
+}
+
+func TestCmdCheckFlagsViolations(t *testing.T) {
+	dir := t.TempDir()
+	rulesPath := filepath.Join(dir, "rules.txt")
+	if err := os.WriteFile(rulesPath, []byte("rule conserve: sum(I) == TotalIngress\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dataPath := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(dataPath, []byte("100,0,0,0,1|1,1,1,1,1\nnot a record\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out string
+	withStdin(t, dataPath, func() {
+		out = captureStdout(t, func() {
+			if err := cmdCheck([]string{"-rules", rulesPath}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	})
+	if !strings.Contains(out, "violates [conserve]") {
+		t.Errorf("violation not flagged:\n%s", out)
+	}
+	if !strings.Contains(out, "parse error") {
+		t.Errorf("malformed line not flagged:\n%s", out)
+	}
+	if !strings.Contains(out, "2 non-compliant") {
+		t.Errorf("summary wrong:\n%s", out)
+	}
+}
+
+func TestCmdCheckRequiresRules(t *testing.T) {
+	if err := cmdCheck(nil); err == nil {
+		t.Error("missing -rules should error")
+	}
+}
+
+func TestCmdDecodeRequiresRules(t *testing.T) {
+	if err := cmdDecode([]string{"-mode", "rejection"}, true); err == nil {
+		t.Error("rejection without -rules should error")
+	}
+}
+
+// captureStdout redirects os.Stdout for the duration of f.
+func captureStdout(t *testing.T, f func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		buf := make([]byte, 0, 4096)
+		tmp := make([]byte, 1024)
+		for {
+			n, err := r.Read(tmp)
+			buf = append(buf, tmp[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		done <- string(buf)
+	}()
+	f()
+	w.Close()
+	os.Stdout = old
+	return <-done
+}
+
+// withStdin redirects os.Stdin to the given file for the duration of f.
+func withStdin(t *testing.T, path string, f func()) {
+	t.Helper()
+	file, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer file.Close()
+	old := os.Stdin
+	os.Stdin = file
+	defer func() { os.Stdin = old }()
+	f()
+}
+
+func TestCmdExplain(t *testing.T) {
+	dir := t.TempDir()
+	model := filepath.Join(dir, "model.gob")
+	rulesPath := filepath.Join(dir, "rules.txt")
+	if err := cmdTrain([]string{
+		"-racks", "2", "-windows", "15", "-epochs", "1",
+		"-dim", "16", "-layers", "1", "-heads", "2", "-o", model,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdMine([]string{"-racks", "2", "-windows", "15", "-o", rulesPath}); err != nil {
+		t.Fatal(err)
+	}
+	out := captureStdout(t, func() {
+		if err := cmdExplain([]string{"-model", model, "-rules", rulesPath}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	for _, want := range []string{"step", "allowed", "result:", "violations: []"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output missing %q:\n%s", want, out)
+		}
+	}
+	if err := cmdExplain(nil); err == nil {
+		t.Error("explain without -rules should error")
+	}
+}

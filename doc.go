@@ -1,0 +1,10 @@
+// Package repro is the root of the LeJIT reproduction: Just-in-Time Logic
+// Enforcement for network management (Hè & Apostolaki, HotNets '25),
+// implemented from scratch in pure Go.
+//
+// The public API lives in repro/lejit; the paper's engine and every
+// substrate it depends on live under internal/ (see DESIGN.md for the
+// inventory). bench_test.go in this directory holds one benchmark per
+// figure in the paper's evaluation plus microbenches of the solver, the
+// model, and the decoding engine.
+package repro

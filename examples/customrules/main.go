@@ -1,0 +1,98 @@
+// Custom-rules example: "a single LLM to rule them all" (paper §3). One
+// trained model is repurposed at inference time by swapping hand-written
+// rule plug-ins — an SLO enforcement profile, a maintenance-window profile,
+// and an incident-replay profile — with zero retraining or fine-tuning.
+//
+// Run with:
+//
+//	go run ./examples/customrules
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/lejit"
+)
+
+func main() {
+	schema := lejit.TelemetrySchema()
+	train := lejit.SimulateTelemetry(20, 80, 21)
+
+	model, err := lejit.NewModel(lejit.ModelConfig{
+		Vocab: lejit.TelemetryTokenizer().Size(), Ctx: 48, Dim: 48, Heads: 4, Layers: 2,
+	}, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("training one %d-parameter model...\n\n", model.NumParams())
+	if _, err := lejit.TrainOnRecords(model, train, schema, lejit.TrainConfig{Epochs: 2, Seed: 5}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Three operator-written rule plug-ins for three different tasks.
+	profiles := []struct {
+		name  string
+		rules string
+	}{
+		{
+			name: "SLO enforcement (generate compliant busy-hour traffic)",
+			rules: `
+const BW = 60
+rule conserve: sum(I) == TotalIngress
+rule busy:     TotalIngress >= 80
+rule capacity: max(I) <= BW
+rule no_drops: Retrans == 0
+`,
+		},
+		{
+			name: "maintenance window (quiet traffic, no bursts)",
+			rules: `
+const BW = 60
+rule conserve: sum(I) == TotalIngress
+rule quiet:    TotalIngress <= 40
+rule no_burst: max(I) < BW/2
+rule calm:     Congestion == 0
+`,
+		},
+		{
+			name: "incident replay (congested bursty windows)",
+			rules: `
+const BW = 60
+rule conserve:  sum(I) == TotalIngress
+rule congested: Congestion >= 10
+rule burst:     Congestion > 0 -> max(I) >= BW/2
+rule loss:      Retrans >= 1 and Retrans <= Congestion
+`,
+		},
+	}
+
+	rng := rand.New(rand.NewSource(6))
+	for _, p := range profiles {
+		rs, err := lejit.ParseRules(p.rules, schema)
+		if err != nil {
+			log.Fatalf("%s: %v", p.name, err)
+		}
+		pipe, err := lejit.NewPipeline(model, schema, rs, lejit.WithTemperature(0.95))
+		if err != nil {
+			log.Fatalf("%s: %v", p.name, err)
+		}
+		fmt.Printf("-- %s --\n", p.name)
+		for i := 0; i < 3; i++ {
+			rec, _, err := pipe.Generate(rng)
+			if err != nil {
+				log.Fatal(err)
+			}
+			line, err := lejit.FormatRecord(rec, schema)
+			if err != nil {
+				log.Fatal(err)
+			}
+			vs, _ := pipe.Violations(rec)
+			fmt.Printf("  %s  violations: %v", line[:len(line)-1], vs)
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+	fmt.Println("same weights, three behaviours — the rules are the plug-in.")
+}

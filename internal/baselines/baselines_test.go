@@ -1,0 +1,284 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/rules"
+)
+
+func trainTest(t *testing.T) (train, test []rules.Record, schema *rules.Schema) {
+	t.Helper()
+	ws := dataset.Generate(dataset.Config{Racks: 20, WindowsPerRack: 120, Seed: 55})
+	trw, tew := dataset.Split(ws, 16, 4)
+	return dataset.Records(trw), dataset.Records(tew), dataset.Schema()
+}
+
+func generators(schema *rules.Schema) []Generator {
+	return []Generator{
+		NewNetShare(schema, 0),
+		NewEWGANGP(schema),
+		NewCTGAN(schema, 0, 1),
+		NewTVAE(schema, 0),
+	}
+}
+
+func TestGeneratorsFitAndSample(t *testing.T) {
+	train, _, schema := trainTest(t)
+	rng := rand.New(rand.NewSource(2))
+	for _, g := range generators(schema) {
+		t.Run(g.Name(), func(t *testing.T) {
+			if err := g.Fit(train); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 50; i++ {
+				rec, err := g.Sample(rng)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := schema.Validate(rec); err != nil {
+					t.Fatalf("sample %d invalid: %v", i, err)
+				}
+			}
+		})
+	}
+}
+
+func TestGeneratorsRequireFit(t *testing.T) {
+	_, _, schema := trainTest(t)
+	rng := rand.New(rand.NewSource(3))
+	for _, g := range generators(schema) {
+		if _, err := g.Sample(rng); err == nil {
+			t.Errorf("%s: Sample before Fit should error", g.Name())
+		}
+	}
+}
+
+// TestGeneratorsApproximateMarginals: each generator should land closer to
+// the held-out TotalIngress distribution than a uniform sampler does —
+// i.e. they actually learn something.
+func TestGeneratorsApproximateMarginals(t *testing.T) {
+	train, test, schema := trainTest(t)
+	rng := rand.New(rand.NewSource(4))
+
+	truth := fieldValues(test, "TotalIngress")
+	uniform := make([]float64, 2000)
+	for i := range uniform {
+		uniform[i] = rng.Float64() * dataset.MaxCoarse
+	}
+	uniformJSD := metrics.JSD(uniform, truth, 20, 0, dataset.MaxCoarse)
+
+	for _, g := range generators(schema) {
+		t.Run(g.Name(), func(t *testing.T) {
+			if err := g.Fit(train); err != nil {
+				t.Fatal(err)
+			}
+			var synth []float64
+			for i := 0; i < 2000; i++ {
+				rec, err := g.Sample(rng)
+				if err != nil {
+					t.Fatal(err)
+				}
+				synth = append(synth, float64(rec["TotalIngress"][0]))
+			}
+			jsd := metrics.JSD(synth, truth, 20, 0, dataset.MaxCoarse)
+			if math.IsNaN(jsd) || jsd >= uniformJSD {
+				t.Errorf("JSD %.4f is not better than uniform %.4f", jsd, uniformJSD)
+			}
+		})
+	}
+}
+
+// TestGeneratorsViolateRules: the SOTA generators know no rules; on mined
+// hard constraints they must show violations (the Fig 5 contrast).
+func TestGeneratorsViolateRules(t *testing.T) {
+	train, _, schema := trainTest(t)
+	rng := rand.New(rand.NewSource(5))
+	rs, err := rules.ParseRuleSet(`
+const BW = 60
+rule conserve: sum(I) == TotalIngress
+rule burst: Congestion > 0 -> max(I) >= BW/2
+`, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range generators(schema) {
+		t.Run(g.Name(), func(t *testing.T) {
+			if err := g.Fit(train); err != nil {
+				t.Fatal(err)
+			}
+			violated := 0
+			const n = 200
+			for i := 0; i < n; i++ {
+				rec, err := g.Sample(rng)
+				if err != nil {
+					t.Fatal(err)
+				}
+				vs, err := rs.Violations(rec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(vs) > 0 {
+					violated++
+				}
+			}
+			if violated == 0 {
+				t.Errorf("%s: zero violations in %d samples (a rule-free generator satisfying Σ I = TotalIngress exactly is implausible)", g.Name(), n)
+			}
+		})
+	}
+}
+
+func TestZoom2NetLearnsImputation(t *testing.T) {
+	train, test, schema := trainTest(t)
+	z, err := NewZoom2Net(schema, dataset.CoarseFields(), dataset.FineField, nil, Z2NConfig{Epochs: 30, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := z.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	// Compare against the constant mean predictor.
+	meanPred := meanFine(train)
+	var zPred, mPred, truth [][]int64
+	for _, rec := range test[:300] {
+		known := coarseOnly(rec)
+		out, err := z.Impute(known)
+		if err != nil {
+			t.Fatal(err)
+		}
+		zPred = append(zPred, out[dataset.FineField])
+		mPred = append(mPred, meanPred)
+		truth = append(truth, rec[dataset.FineField])
+	}
+	zMAE, err := metrics.MAE(zPred, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mMAE, err := metrics.MAE(mPred, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zMAE >= mMAE {
+		t.Errorf("Zoom2Net MAE %.3f not better than mean predictor %.3f", zMAE, mMAE)
+	}
+}
+
+func TestZoom2NetCEMEnforcesManualRules(t *testing.T) {
+	train, test, schema := trainTest(t)
+	manual, err := rules.ParseRuleSet(`
+const BW = 60
+const T  = 5
+rule c4: forall t in 0..T-1: 0 <= I[t] and I[t] <= BW
+rule c5: sum(I) == TotalIngress
+rule c6: Congestion > 0 -> max(I) >= BW/2
+rule c7: forall t in 0..T-2: I[t+1] - I[t] <= BW and I[t] - I[t+1] <= BW
+`, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := NewZoom2Net(schema, dataset.CoarseFields(), dataset.FineField, manual, Z2NConfig{Epochs: 20, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := z.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	for i, rec := range test[:100] {
+		out, err := z.Impute(coarseOnly(rec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		vs, err := manual.Violations(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(vs) > 0 {
+			t.Fatalf("record %d: CEM output violates manual rules %v: %v", i, vs, out)
+		}
+	}
+}
+
+func TestZoom2NetRequiresFit(t *testing.T) {
+	_, test, schema := trainTest(t)
+	z, err := NewZoom2Net(schema, dataset.CoarseFields(), dataset.FineField, nil, Z2NConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := z.Impute(coarseOnly(test[0])); err == nil {
+		t.Error("Impute before Fit should error")
+	}
+}
+
+func TestZoom2NetValidation(t *testing.T) {
+	_, _, schema := trainTest(t)
+	if _, err := NewZoom2Net(schema, []string{"Nope"}, dataset.FineField, nil, Z2NConfig{}); err == nil {
+		t.Error("unknown coarse field accepted")
+	}
+	if _, err := NewZoom2Net(schema, dataset.CoarseFields(), "Congestion", nil, Z2NConfig{}); err == nil {
+		t.Error("scalar fine field accepted")
+	}
+}
+
+func TestLayoutRoundTrip(t *testing.T) {
+	_, test, schema := trainTest(t)
+	l := newLayout(schema)
+	for _, rec := range test[:20] {
+		v, err := l.vectorize(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back := l.devectorize(v)
+		for _, f := range schema.Fields() {
+			for i := range rec[f.Name] {
+				if back[f.Name][i] != rec[f.Name][i] {
+					t.Fatalf("round trip mismatch at %s[%d]", f.Name, i)
+				}
+			}
+		}
+	}
+}
+
+func TestCholeskyIdentity(t *testing.T) {
+	id := [][]float64{{1, 0}, {0, 1}}
+	l, err := cholesky(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l[0][0]-1) > 1e-4 || math.Abs(l[1][1]-1) > 1e-4 || l[1][0] != 0 {
+		t.Errorf("chol(I) = %v", l)
+	}
+}
+
+func coarseOnly(rec rules.Record) rules.Record {
+	out := rules.Record{}
+	for _, f := range dataset.CoarseFields() {
+		out[f] = append([]int64(nil), rec[f]...)
+	}
+	return out
+}
+
+func fieldValues(recs []rules.Record, field string) []float64 {
+	out := make([]float64, 0, len(recs))
+	for _, r := range recs {
+		out = append(out, float64(r[field][0]))
+	}
+	return out
+}
+
+func meanFine(recs []rules.Record) []int64 {
+	sum := make([]float64, dataset.T)
+	for _, r := range recs {
+		for i, v := range r[dataset.FineField] {
+			sum[i] += float64(v)
+		}
+	}
+	out := make([]int64, dataset.T)
+	for i := range out {
+		out[i] = int64(math.Round(sum[i] / float64(len(recs))))
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package baselines
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/rules"
+)
+
+// TestGeneratorsDeterministic: same fit + same sampling seed → identical
+// samples (the reproducibility contract of every experiment driver).
+func TestGeneratorsDeterministic(t *testing.T) {
+	train, _, schema := trainTest(t)
+	for _, mk := range []func() Generator{
+		func() Generator { return NewNetShare(schema, 0) },
+		func() Generator { return NewEWGANGP(schema) },
+		func() Generator { return NewCTGAN(schema, 0, 9) },
+		func() Generator { return NewTVAE(schema, 0) },
+	} {
+		g1, g2 := mk(), mk()
+		if err := g1.Fit(train); err != nil {
+			t.Fatal(err)
+		}
+		if err := g2.Fit(train); err != nil {
+			t.Fatal(err)
+		}
+		r1 := rand.New(rand.NewSource(123))
+		r2 := rand.New(rand.NewSource(123))
+		for i := 0; i < 20; i++ {
+			a, err := g1.Sample(r1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := g2.Sample(r2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dataset.Format(a) != dataset.Format(b) {
+				t.Fatalf("%s: sample %d diverged:\n%s%s", g1.Name(), i, dataset.Format(a), dataset.Format(b))
+			}
+		}
+	}
+}
+
+func TestZoom2NetDeterministic(t *testing.T) {
+	train, test, schema := trainTest(t)
+	mk := func() *Zoom2Net {
+		z, err := NewZoom2Net(schema, dataset.CoarseFields(), dataset.FineField, nil, Z2NConfig{Epochs: 5, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := z.Fit(train); err != nil {
+			t.Fatal(err)
+		}
+		return z
+	}
+	z1, z2 := mk(), mk()
+	for _, rec := range test[:20] {
+		a, err := z1.Impute(coarseOnly(rec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := z2.Impute(coarseOnly(rec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a[dataset.FineField] {
+			if a[dataset.FineField][i] != b[dataset.FineField][i] {
+				t.Fatalf("Zoom2Net not deterministic: %v vs %v", a[dataset.FineField], b[dataset.FineField])
+			}
+		}
+	}
+}
+
+// TestCTGANSingularData: k-means over a corpus with fewer distinct points
+// than clusters must not loop or crash.
+func TestCTGANSingularData(t *testing.T) {
+	_, _, schema := trainTest(t)
+	rec := rules.Record{
+		"TotalIngress": {10}, "Congestion": {0}, "Retrans": {0},
+		"Egress": {5}, "Conns": {3}, dataset.FineField: {2, 2, 2, 2, 2},
+	}
+	var recs []rules.Record
+	for i := 0; i < 20; i++ {
+		recs = append(recs, rec.Clone())
+	}
+	g := NewCTGAN(schema, 6, 1)
+	if err := g.Fit(recs); err != nil {
+		t.Fatal(err)
+	}
+	out, err := g.Sample(rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dataset.Format(out) != dataset.Format(rec) {
+		t.Errorf("degenerate corpus should reproduce the single point: %s", dataset.Format(out))
+	}
+}
+
+// TestEWGANGPSingularCovariance: constant dimensions make the covariance
+// singular; the jittered Cholesky must still succeed.
+func TestEWGANGPSingularCovariance(t *testing.T) {
+	_, _, schema := trainTest(t)
+	var recs []rules.Record
+	for i := 0; i < 30; i++ {
+		recs = append(recs, rules.Record{
+			"TotalIngress": {int64(i % 7 * 10)}, "Congestion": {0}, "Retrans": {0},
+			"Egress": {0}, "Conns": {5}, dataset.FineField: {int64(i % 7 * 2), 0, 0, 0, 0},
+		})
+	}
+	g := NewEWGANGP(schema)
+	if err := g.Fit(recs); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 10; i++ {
+		rec, err := g.Sample(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := schema.Validate(rec); err != nil {
+			t.Fatalf("sample outside domains: %v", err)
+		}
+	}
+}
+
+// TestTVAELatentLargerThanDims: k larger than the dimensionality must clamp.
+func TestTVAELatentLargerThanDims(t *testing.T) {
+	train, _, schema := trainTest(t)
+	g := NewTVAE(schema, 100)
+	if err := g.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Sample(rand.New(rand.NewSource(3))); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,134 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/rules"
+)
+
+// EWGANGP is the implicit-density baseline (Gulrajani et al.'s WGAN-GP as
+// used for network data, substituted per DESIGN.md): a full-covariance
+// multivariate Gaussian fit of the record vector — the smooth unimodal
+// density a critic-regularized GAN converges towards on this data scale.
+// Captures all linear correlations, knows no rules and no hard bounds
+// (samples are clamped to domains, mirroring a GAN's output squashing).
+type EWGANGP struct {
+	layout *layout
+	mean   []float64
+	chol   [][]float64 // lower-triangular Cholesky factor of the covariance
+	fitted bool
+}
+
+// NewEWGANGP builds the generator.
+func NewEWGANGP(schema *rules.Schema) *EWGANGP {
+	return &EWGANGP{layout: newLayout(schema)}
+}
+
+// Name implements Generator.
+func (g *EWGANGP) Name() string { return "E-WGAN-GP" }
+
+// Fit implements Generator.
+func (g *EWGANGP) Fit(recs []rules.Record) error {
+	rows, err := g.layout.matrix(recs)
+	if err != nil {
+		return err
+	}
+	if len(rows) < 2 {
+		return fmt.Errorf("baselines: need ≥2 records, got %d", len(rows))
+	}
+	d := g.layout.size()
+	g.mean = make([]float64, d)
+	for _, r := range rows {
+		for j, v := range r {
+			g.mean[j] += v
+		}
+	}
+	for j := range g.mean {
+		g.mean[j] /= float64(len(rows))
+	}
+	cov := make([][]float64, d)
+	for i := range cov {
+		cov[i] = make([]float64, d)
+	}
+	for _, r := range rows {
+		for i := 0; i < d; i++ {
+			di := r[i] - g.mean[i]
+			for j := 0; j <= i; j++ {
+				cov[i][j] += di * (r[j] - g.mean[j])
+			}
+		}
+	}
+	inv := 1 / float64(len(rows)-1)
+	for i := 0; i < d; i++ {
+		for j := 0; j <= i; j++ {
+			cov[i][j] *= inv
+			cov[j][i] = cov[i][j]
+		}
+	}
+	g.chol, err = cholesky(cov)
+	if err != nil {
+		return err
+	}
+	g.fitted = true
+	return nil
+}
+
+// Sample implements Generator.
+func (g *EWGANGP) Sample(rng *rand.Rand) (rules.Record, error) {
+	if !g.fitted {
+		return nil, fmt.Errorf("baselines: E-WGAN-GP not fitted")
+	}
+	d := g.layout.size()
+	z := make([]float64, d)
+	for i := range z {
+		z[i] = rng.NormFloat64()
+	}
+	x := make([]float64, d)
+	for i := 0; i < d; i++ {
+		s := g.mean[i]
+		for j := 0; j <= i; j++ {
+			s += g.chol[i][j] * z[j]
+		}
+		x[i] = s
+	}
+	return g.layout.devectorize(x), nil
+}
+
+// cholesky computes the lower-triangular factor of a symmetric
+// positive-semidefinite matrix, adding diagonal jitter until it succeeds.
+func cholesky(a [][]float64) ([][]float64, error) {
+	d := len(a)
+	for jitter := 1e-9; jitter < 1e3; jitter *= 10 {
+		l := make([][]float64, d)
+		for i := range l {
+			l[i] = make([]float64, d)
+		}
+		ok := true
+		for i := 0; i < d && ok; i++ {
+			for j := 0; j <= i; j++ {
+				s := a[i][j]
+				if i == j {
+					s += jitter
+				}
+				for k := 0; k < j; k++ {
+					s -= l[i][k] * l[j][k]
+				}
+				if i == j {
+					if s <= 0 {
+						ok = false
+						break
+					}
+					l[i][j] = math.Sqrt(s)
+				} else {
+					l[i][j] = s / l[j][j]
+				}
+			}
+		}
+		if ok {
+			return l, nil
+		}
+	}
+	return nil, fmt.Errorf("baselines: covariance is not positive semidefinite")
+}

@@ -1,0 +1,161 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/rules"
+)
+
+// CTGAN is the mode-aware tabular baseline (Xu et al., NeurIPS '19,
+// substituted per DESIGN.md): CTGAN's core ideas are mode-specific
+// normalization and conditional sampling per mode. The substitute clusters
+// the corpus into traffic modes with k-means, then samples a mode by its
+// empirical frequency and each dimension from that mode's empirical values.
+// Captures multi-modality (idle vs loaded vs bursty traffic) but not exact
+// arithmetic couplings.
+type CTGAN struct {
+	layout   *layout
+	k        int
+	iters    int
+	seed     int64
+	weights  []float64
+	clusters [][][]float64 // clusters[c][dim] = observed values
+	fitted   bool
+}
+
+// NewCTGAN builds the generator with k modes (0 → 6).
+func NewCTGAN(schema *rules.Schema, k int, seed int64) *CTGAN {
+	if k == 0 {
+		k = 6
+	}
+	return &CTGAN{layout: newLayout(schema), k: k, iters: 25, seed: seed}
+}
+
+// Name implements Generator.
+func (g *CTGAN) Name() string { return "CTGAN" }
+
+// Fit implements Generator.
+func (g *CTGAN) Fit(recs []rules.Record) error {
+	rows, err := g.layout.matrix(recs)
+	if err != nil {
+		return err
+	}
+	if len(rows) < g.k {
+		return fmt.Errorf("baselines: %d records for %d modes", len(rows), g.k)
+	}
+	mean, std := meanStd(rows)
+	norm := make([][]float64, len(rows))
+	for i, r := range rows {
+		norm[i] = make([]float64, len(r))
+		for j, v := range r {
+			norm[i][j] = (v - mean[j]) / std[j]
+		}
+	}
+	assign := kmeans(norm, g.k, g.iters, rand.New(rand.NewSource(g.seed)))
+
+	d := g.layout.size()
+	g.clusters = make([][][]float64, g.k)
+	g.weights = make([]float64, g.k)
+	for c := 0; c < g.k; c++ {
+		g.clusters[c] = make([][]float64, d)
+	}
+	for i, c := range assign {
+		g.weights[c]++
+		for j, v := range rows[i] {
+			g.clusters[c][j] = append(g.clusters[c][j], v)
+		}
+	}
+	for c := range g.weights {
+		g.weights[c] /= float64(len(rows))
+	}
+	g.fitted = true
+	return nil
+}
+
+// Sample implements Generator.
+func (g *CTGAN) Sample(rng *rand.Rand) (rules.Record, error) {
+	if !g.fitted {
+		return nil, fmt.Errorf("baselines: CTGAN not fitted")
+	}
+	c := sampleWeighted(g.weights, rng)
+	for len(g.clusters[c][0]) == 0 { // empty cluster: resample
+		c = sampleWeighted(g.weights, rng)
+	}
+	d := g.layout.size()
+	v := make([]float64, d)
+	for j := 0; j < d; j++ {
+		pool := g.clusters[c][j]
+		v[j] = pool[rng.Intn(len(pool))]
+	}
+	return g.layout.devectorize(v), nil
+}
+
+func sampleWeighted(ws []float64, rng *rand.Rand) int {
+	r := rng.Float64()
+	for i, w := range ws {
+		r -= w
+		if r <= 0 {
+			return i
+		}
+	}
+	return len(ws) - 1
+}
+
+// kmeans runs Lloyd's algorithm and returns per-row cluster assignments.
+func kmeans(rows [][]float64, k, iters int, rng *rand.Rand) []int {
+	n, d := len(rows), len(rows[0])
+	centers := make([][]float64, k)
+	perm := rng.Perm(n)
+	for c := 0; c < k; c++ {
+		centers[c] = append([]float64(nil), rows[perm[c]]...)
+	}
+	assign := make([]int, n)
+	for it := 0; it < iters; it++ {
+		changed := false
+		for i, r := range rows {
+			best, bestD := 0, math.Inf(1)
+			for c := 0; c < k; c++ {
+				var dist float64
+				for j := 0; j < d; j++ {
+					dv := r[j] - centers[c][j]
+					dist += dv * dv
+				}
+				if dist < bestD {
+					best, bestD = c, dist
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		counts := make([]int, k)
+		for c := range centers {
+			for j := range centers[c] {
+				centers[c][j] = 0
+			}
+		}
+		for i, c := range assign {
+			counts[c]++
+			for j, v := range rows[i] {
+				centers[c][j] += v
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				// Re-seed empty cluster at a random point.
+				centers[c] = append([]float64(nil), rows[rng.Intn(n)]...)
+				continue
+			}
+			for j := range centers[c] {
+				centers[c][j] /= float64(counts[c])
+			}
+		}
+	}
+	return assign
+}

@@ -1,0 +1,113 @@
+package baselines
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/rules"
+)
+
+// NetShare is the sequence-model synthetic-data baseline (Yin et al.,
+// SIGCOMM '22, substituted per DESIGN.md): it learns a quantized first-order
+// Markov chain over the record's dimensions — each value is sampled from the
+// empirical conditional distribution given the previous dimension's
+// quantization bin. Captures pairwise sequential correlations, knows no
+// rules.
+type NetShare struct {
+	layout *layout
+	bins   int
+	// lo/width per dimension for quantization.
+	lo, width []float64
+	// marginal[k] = observed values of dimension k.
+	marginal [][]float64
+	// cond[k][prevBin] = observed values of dim k given bin(dim k-1).
+	cond   []map[int][]float64
+	fitted bool
+}
+
+// NewNetShare builds the generator; bins controls quantization granularity
+// (0 → 12).
+func NewNetShare(schema *rules.Schema, bins int) *NetShare {
+	if bins == 0 {
+		bins = 12
+	}
+	return &NetShare{layout: newLayout(schema), bins: bins}
+}
+
+// Name implements Generator.
+func (g *NetShare) Name() string { return "NetShare" }
+
+// Fit implements Generator.
+func (g *NetShare) Fit(recs []rules.Record) error {
+	rows, err := g.layout.matrix(recs)
+	if err != nil {
+		return err
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("baselines: empty training set")
+	}
+	d := g.layout.size()
+	g.lo = make([]float64, d)
+	g.width = make([]float64, d)
+	g.marginal = make([][]float64, d)
+	g.cond = make([]map[int][]float64, d)
+	for k := 0; k < d; k++ {
+		lo, hi := rows[0][k], rows[0][k]
+		for _, r := range rows {
+			if r[k] < lo {
+				lo = r[k]
+			}
+			if r[k] > hi {
+				hi = r[k]
+			}
+		}
+		g.lo[k] = lo
+		g.width[k] = (hi - lo) / float64(g.bins)
+		if g.width[k] == 0 {
+			g.width[k] = 1
+		}
+		g.cond[k] = map[int][]float64{}
+	}
+	for _, r := range rows {
+		for k := 0; k < d; k++ {
+			g.marginal[k] = append(g.marginal[k], r[k])
+			if k > 0 {
+				pb := g.bin(k-1, r[k-1])
+				g.cond[k][pb] = append(g.cond[k][pb], r[k])
+			}
+		}
+	}
+	g.fitted = true
+	return nil
+}
+
+func (g *NetShare) bin(k int, v float64) int {
+	b := int((v - g.lo[k]) / g.width[k])
+	if b < 0 {
+		b = 0
+	}
+	if b >= g.bins {
+		b = g.bins - 1
+	}
+	return b
+}
+
+// Sample implements Generator.
+func (g *NetShare) Sample(rng *rand.Rand) (rules.Record, error) {
+	if !g.fitted {
+		return nil, fmt.Errorf("baselines: NetShare not fitted")
+	}
+	d := g.layout.size()
+	v := make([]float64, d)
+	for k := 0; k < d; k++ {
+		var pool []float64
+		if k > 0 {
+			pool = g.cond[k][g.bin(k-1, v[k-1])]
+		}
+		if len(pool) == 0 {
+			pool = g.marginal[k]
+		}
+		v[k] = pool[rng.Intn(len(pool))]
+	}
+	return g.layout.devectorize(v), nil
+}

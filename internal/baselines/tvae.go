@@ -1,0 +1,168 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/rules"
+)
+
+// TVAE is the variational-autoencoder tabular baseline (Xu et al., NeurIPS
+// '19, substituted per DESIGN.md): a linear VAE with a Gaussian latent —
+// equivalent to probabilistic PCA. Fit extracts the top-k principal
+// components of the standardized record vectors by power iteration with
+// deflation; Sample draws latent coordinates from the per-component
+// variances and adds isotropic residual noise.
+type TVAE struct {
+	layout *layout
+	k      int
+	mean   []float64
+	std    []float64
+	comps  [][]float64 // unit-norm principal directions (standardized space)
+	lambda []float64   // component variances
+	resid  float64     // residual std in standardized space
+	fitted bool
+}
+
+// NewTVAE builds the generator with a k-dimensional latent (0 → 4).
+func NewTVAE(schema *rules.Schema, k int) *TVAE {
+	if k == 0 {
+		k = 4
+	}
+	return &TVAE{layout: newLayout(schema), k: k}
+}
+
+// Name implements Generator.
+func (g *TVAE) Name() string { return "TVAE" }
+
+// Fit implements Generator.
+func (g *TVAE) Fit(recs []rules.Record) error {
+	rows, err := g.layout.matrix(recs)
+	if err != nil {
+		return err
+	}
+	if len(rows) < 2 {
+		return fmt.Errorf("baselines: need ≥2 records, got %d", len(rows))
+	}
+	d := g.layout.size()
+	if g.k > d {
+		g.k = d
+	}
+	g.mean, g.std = meanStd(rows)
+	norm := make([][]float64, len(rows))
+	for i, r := range rows {
+		norm[i] = make([]float64, d)
+		for j, v := range r {
+			norm[i][j] = (v - g.mean[j]) / g.std[j]
+		}
+	}
+	// Covariance in standardized space.
+	cov := make([][]float64, d)
+	for i := range cov {
+		cov[i] = make([]float64, d)
+	}
+	for _, r := range norm {
+		for i := 0; i < d; i++ {
+			for j := 0; j <= i; j++ {
+				cov[i][j] += r[i] * r[j]
+			}
+		}
+	}
+	inv := 1 / float64(len(rows)-1)
+	var trace float64
+	for i := 0; i < d; i++ {
+		for j := 0; j <= i; j++ {
+			cov[i][j] *= inv
+			cov[j][i] = cov[i][j]
+		}
+		trace += cov[i][i]
+	}
+
+	g.comps = nil
+	g.lambda = nil
+	var explained float64
+	for c := 0; c < g.k; c++ {
+		vec, val := powerIteration(cov, 200, 1e-9)
+		if val <= 1e-9 {
+			break
+		}
+		g.comps = append(g.comps, vec)
+		g.lambda = append(g.lambda, val)
+		explained += val
+		deflate(cov, vec, val)
+	}
+	residVar := (trace - explained) / float64(d)
+	if residVar < 0 {
+		residVar = 0
+	}
+	g.resid = math.Sqrt(residVar)
+	g.fitted = true
+	return nil
+}
+
+// Sample implements Generator.
+func (g *TVAE) Sample(rng *rand.Rand) (rules.Record, error) {
+	if !g.fitted {
+		return nil, fmt.Errorf("baselines: TVAE not fitted")
+	}
+	d := g.layout.size()
+	x := make([]float64, d)
+	for c, vec := range g.comps {
+		z := rng.NormFloat64() * math.Sqrt(g.lambda[c])
+		for j := 0; j < d; j++ {
+			x[j] += z * vec[j]
+		}
+	}
+	for j := 0; j < d; j++ {
+		x[j] += rng.NormFloat64() * g.resid
+		x[j] = x[j]*g.std[j] + g.mean[j]
+	}
+	return g.layout.devectorize(x), nil
+}
+
+// powerIteration finds the dominant eigenpair of a symmetric matrix.
+func powerIteration(a [][]float64, iters int, tol float64) ([]float64, float64) {
+	d := len(a)
+	v := make([]float64, d)
+	for i := range v {
+		v[i] = 1 / math.Sqrt(float64(d))
+	}
+	var val float64
+	for it := 0; it < iters; it++ {
+		w := make([]float64, d)
+		for i := 0; i < d; i++ {
+			for j := 0; j < d; j++ {
+				w[i] += a[i][j] * v[j]
+			}
+		}
+		var norm float64
+		for _, x := range w {
+			norm += x * x
+		}
+		norm = math.Sqrt(norm)
+		if norm < tol {
+			return v, 0
+		}
+		for i := range w {
+			w[i] /= norm
+		}
+		prev := val
+		val = norm
+		v = w
+		if it > 5 && math.Abs(val-prev) < tol {
+			break
+		}
+	}
+	return v, val
+}
+
+// deflate removes an eigenpair: a ← a − λ v vᵀ.
+func deflate(a [][]float64, v []float64, val float64) {
+	d := len(a)
+	for i := 0; i < d; i++ {
+		for j := 0; j < d; j++ {
+			a[i][j] -= val * v[i] * v[j]
+		}
+	}
+}

@@ -1,0 +1,432 @@
+// Package core implements the paper's contribution: Just-in-Time Logic
+// Enforcement (LeJIT). The engine interleaves the SMT solver into the
+// language model's token-by-token inference: before each character is
+// emitted, the solver computes — from the rules and everything generated so
+// far, with lookahead over the not-yet-generated suffix — which next
+// characters keep a rule-compliant completion reachable, masks the rest out
+// of the model's logits, renormalizes, and samples (paper §3, Fig 1b/2).
+//
+// The package also implements the evaluated baselines: Vanilla (free
+// sampling), Rejection (resample until compliant), PostHoc (L1-minimal SMT
+// repair of the free sample — the Zoom2Net-CEM strategy), and a
+// StructureOnly mode (grammar/width masking without the solver — the
+// constrained-decoding strawman of §2.2).
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"repro/internal/nn"
+	"repro/internal/rules"
+	"repro/internal/smt"
+	"repro/internal/vocab"
+)
+
+// Session is an incremental decoding session over a language model.
+type Session interface {
+	// Append feeds one token; afterwards Logits reflects the next position.
+	Append(tok int) error
+	// Logits returns the next-token logits. The engine reads but does not
+	// retain the returned slice; it may be reused by the next Append.
+	Logits() []float32
+}
+
+// LM abstracts the language model so the engine stays model-agnostic
+// ("LeJIT is LLM-agnostic", §4).
+type LM interface {
+	VocabSize() int
+	NewSession() Session
+}
+
+// nnLM adapts *nn.Model to the LM interface.
+type nnLM struct{ m *nn.Model }
+
+func (a nnLM) VocabSize() int      { return a.m.Cfg.Vocab }
+func (a nnLM) NewSession() Session { return a.m.NewSession() }
+
+// WrapNN adapts a trained transformer to the engine's LM interface.
+func WrapNN(m *nn.Model) LM { return nnLM{m: m} }
+
+// Slot is one value position in the output grammar: a field element followed
+// by a separator character.
+type Slot struct {
+	Field string
+	Index int
+	Sep   byte
+}
+
+// TelemetryGrammar builds the record grammar used by the telemetry text
+// format: scalar fields in coarseOrder separated by ',', a '|' before the
+// fine-grained vector, ',' within it, and a final '\n'.
+func TelemetryGrammar(schema *rules.Schema, coarseOrder []string, fineField string) ([]Slot, error) {
+	var slots []Slot
+	for i, name := range coarseOrder {
+		f, ok := schema.Field(name)
+		if !ok {
+			return nil, fmt.Errorf("core: grammar field %q not in schema", name)
+		}
+		if f.Kind != rules.Scalar {
+			return nil, fmt.Errorf("core: grammar field %q is not scalar", name)
+		}
+		sep := byte(',')
+		if i == len(coarseOrder)-1 {
+			sep = '|'
+		}
+		slots = append(slots, Slot{Field: name, Index: 0, Sep: sep})
+	}
+	f, ok := schema.Field(fineField)
+	if !ok {
+		return nil, fmt.Errorf("core: fine field %q not in schema", fineField)
+	}
+	if f.Kind != rules.Vector {
+		return nil, fmt.Errorf("core: fine field %q is not a vector", fineField)
+	}
+	for i := 0; i < f.Len; i++ {
+		sep := byte(',')
+		if i == f.Len-1 {
+			sep = '\n'
+		}
+		slots = append(slots, Slot{Field: fineField, Index: i, Sep: sep})
+	}
+	return slots, nil
+}
+
+// Mode selects the enforcement strategy of the guided decoder.
+type Mode int
+
+const (
+	// LeJIT enforces the full rule set with SMT lookahead (the paper's
+	// contribution).
+	LeJIT Mode = iota
+	// StructureOnly masks only by grammar and field domains — equivalent
+	// to grammar-constrained decoding, which cannot track arithmetic
+	// constraints (§2.2 "Enforcing rules during decoding").
+	StructureOnly
+)
+
+// Config assembles an Engine.
+type Config struct {
+	LM     LM
+	Tok    *vocab.Tokenizer
+	Schema *rules.Schema
+	// Rules guide LeJIT decoding and define "violation" for all decoders.
+	// May be nil (then guided decoding enforces field domains only).
+	Rules *rules.RuleSet
+	Slots []Slot
+	Mode  Mode
+
+	Temperature float64 // softmax temperature (0 → 1.0)
+	TopK        int     // restrict sampling to the K most likely admissible tokens (0 → all)
+	MaxNodes    uint64  // solver search budget per Check (0 → solver default)
+	MaxAttempts int     // rejection-sampling attempt cap (0 → 500)
+	MaxRetries  int     // vanilla parse-retry cap (0 → 8)
+	// NoOracleCache disables per-slot memoization of range-feasibility
+	// queries (ablation: measures how much the cache saves, DESIGN.md §3).
+	NoOracleCache bool
+	// TraceHook, when set, receives one TraceStep per guided decoding
+	// step — the observability channel for debugging rule interactions
+	// and for demonstrating minimal invasiveness. Not invoked by the
+	// Vanilla/Rejection/PostHoc baselines.
+	TraceHook func(TraceStep)
+}
+
+// Stats reports what one decode did.
+type Stats struct {
+	Tokens       int    // tokens emitted (excluding the prompt)
+	MaskedSteps  int    // steps where ≥1 candidate token was pruned
+	ForcedSteps  int    // steps with exactly one admissible token (paper Fig 1b step ⑤)
+	SolverChecks uint64 // SMT Check calls attributable to this decode
+	Attempts     int    // sampling attempts (rejection baseline)
+	Malformed    int    // free-sampling outputs that failed to parse
+	Repaired     bool   // post-hoc repair modified the output
+	// LogProb is the renormalized log-probability of the returned token
+	// sequence (filled by BeamImpute; 0 for samplers).
+	LogProb float64
+}
+
+// Result is one decoded record plus its statistics.
+type Result struct {
+	Rec   rules.Record
+	Stats Stats
+}
+
+// TraceStep describes one guided decoding step (see Config.TraceHook).
+type TraceStep struct {
+	Field  string // field being generated
+	Index  int    // element index within the field
+	Prefix string // digit prefix accumulated before this step
+	// Admissible are the token ids the rules allow at this step;
+	// Structural counts what the grammar/width alone would allow.
+	Admissible []int
+	Structural int
+	Chosen     int // the sampled token id
+}
+
+// ErrInfeasible is returned when the rules conjoined with the prompt's known
+// values admit no compliant completion (possible when a test record itself
+// violates a mined rule).
+type ErrInfeasible struct{ Detail string }
+
+func (e ErrInfeasible) Error() string {
+	return "core: no rule-compliant completion exists: " + e.Detail
+}
+
+// Engine decodes records from a language model. It owns a solver with the
+// rule set compiled once; per-record state is pushed and popped, so an
+// Engine is not safe for concurrent use — Clone one per goroutine.
+type Engine struct {
+	cfg     Config
+	solver  *smt.Solver
+	binding *rules.Binding
+	// digitTok[d] is the token id of digit d.
+	digitTok  [10]int
+	maxDigits map[string]int // per field, from the domain's upper bound
+}
+
+// NewEngine validates the configuration, compiles the rules, and returns a
+// ready engine.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.LM == nil || cfg.Tok == nil || cfg.Schema == nil {
+		return nil, fmt.Errorf("core: LM, Tok, and Schema are required")
+	}
+	if len(cfg.Slots) == 0 {
+		return nil, fmt.Errorf("core: empty grammar")
+	}
+	if cfg.Temperature == 0 {
+		cfg.Temperature = 1
+	}
+	if cfg.MaxAttempts == 0 {
+		cfg.MaxAttempts = 500
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 8
+	}
+	if cfg.LM.VocabSize() != cfg.Tok.Size() {
+		return nil, fmt.Errorf("core: LM vocab %d != tokenizer %d", cfg.LM.VocabSize(), cfg.Tok.Size())
+	}
+
+	e := &Engine{cfg: cfg, maxDigits: map[string]int{}}
+	e.digitTok = cfg.Tok.DigitIDs()
+	for d, id := range e.digitTok {
+		if id == -1 {
+			return nil, fmt.Errorf("core: tokenizer lacks digit %d", d)
+		}
+	}
+	seen := map[string]map[int]bool{}
+	for _, s := range cfg.Slots {
+		f, ok := cfg.Schema.Field(s.Field)
+		if !ok {
+			return nil, fmt.Errorf("core: slot field %q not in schema", s.Field)
+		}
+		if s.Index < 0 || s.Index >= f.Len {
+			return nil, fmt.Errorf("core: slot %s[%d] out of range", s.Field, s.Index)
+		}
+		if f.Lo < 0 {
+			return nil, fmt.Errorf("core: field %q has negative domain; the digit grammar covers non-negative values only", s.Field)
+		}
+		if cfg.Tok.ID(s.Sep) == -1 {
+			return nil, fmt.Errorf("core: separator %q not in tokenizer", string(s.Sep))
+		}
+		if seen[s.Field] == nil {
+			seen[s.Field] = map[int]bool{}
+		}
+		if seen[s.Field][s.Index] {
+			return nil, fmt.Errorf("core: slot %s[%d] appears twice", s.Field, s.Index)
+		}
+		seen[s.Field][s.Index] = true
+		e.maxDigits[s.Field] = len(strconv.FormatInt(f.Hi, 10))
+	}
+
+	e.solver = smt.NewSolver()
+	if cfg.MaxNodes > 0 {
+		e.solver.MaxNodes = cfg.MaxNodes
+	}
+	e.binding = rules.Instantiate(e.solver, cfg.Schema)
+	if cfg.Rules != nil && cfg.Mode == LeJIT {
+		f, err := cfg.Rules.CompileAll(e.binding)
+		if err != nil {
+			return nil, fmt.Errorf("core: compiling rules: %w", err)
+		}
+		e.solver.Assert(f)
+		if r := e.solver.Check(); r.Status != smt.Sat {
+			return nil, fmt.Errorf("core: rule set is unsatisfiable on its own (%v)", r.Status)
+		}
+	}
+	return e, nil
+}
+
+// Clone returns an independent engine with the same configuration (for
+// parallel decoding).
+func (e *Engine) Clone() (*Engine, error) { return NewEngine(e.cfg) }
+
+// Rules returns the engine's rule set (may be nil).
+func (e *Engine) Rules() *rules.RuleSet { return e.cfg.Rules }
+
+// Slots returns the output grammar.
+func (e *Engine) Slots() []Slot { return e.cfg.Slots }
+
+// SolverStats exposes the cumulative SMT statistics.
+func (e *Engine) SolverStats() smt.Stats { return e.solver.Stats() }
+
+// slotVar resolves the solver variable of a slot.
+func (e *Engine) slotVar(s Slot) smt.Var {
+	vs, _ := e.binding.Vars(s.Field)
+	return vs[s.Index]
+}
+
+// promptFor renders the known prefix values as prompt text and returns the
+// number of leading slots they cover. Known must cover a (possibly empty)
+// prefix of the grammar, each covered field completely.
+func (e *Engine) promptFor(known rules.Record) (string, int, error) {
+	if len(known) == 0 {
+		return "", 0, nil
+	}
+	var b strings.Builder
+	covered := 0
+	for _, s := range e.cfg.Slots {
+		vs, ok := known[s.Field]
+		if !ok {
+			break
+		}
+		if s.Index >= len(vs) {
+			return "", 0, fmt.Errorf("core: known field %q has %d values, slot needs index %d", s.Field, len(vs), s.Index)
+		}
+		b.WriteString(strconv.FormatInt(vs[s.Index], 10))
+		b.WriteByte(s.Sep)
+		covered++
+	}
+	// Every known field must actually be consumed by the covered prefix.
+	consumed := map[string]bool{}
+	for _, s := range e.cfg.Slots[:covered] {
+		consumed[s.Field] = true
+	}
+	for f := range known {
+		if !consumed[f] {
+			return "", 0, fmt.Errorf("core: known field %q is not a grammar prefix", f)
+		}
+	}
+	return b.String(), covered, nil
+}
+
+// parseBySlots parses generated text according to the grammar from the given
+// slot onward, returning the per-slot values; the text must match
+// digits+separator per slot exactly.
+func (e *Engine) parseBySlots(text string, fromSlot int) ([]int64, error) {
+	vals := make([]int64, 0, len(e.cfg.Slots)-fromSlot)
+	pos := 0
+	for _, s := range e.cfg.Slots[fromSlot:] {
+		start := pos
+		for pos < len(text) && text[pos] >= '0' && text[pos] <= '9' {
+			pos++
+		}
+		if pos == start {
+			return nil, fmt.Errorf("core: expected digits for %s[%d] at offset %d of %q", s.Field, s.Index, start, text)
+		}
+		v, err := strconv.ParseInt(text[start:pos], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("core: value of %s[%d]: %w", s.Field, s.Index, err)
+		}
+		if pos >= len(text) || text[pos] != s.Sep {
+			return nil, fmt.Errorf("core: expected separator %q after %s[%d] in %q", string(s.Sep), s.Field, s.Index, text)
+		}
+		pos++
+		vals = append(vals, v)
+	}
+	if pos != len(text) {
+		return nil, fmt.Errorf("core: trailing content %q", text[pos:])
+	}
+	return vals, nil
+}
+
+// assemble builds the output record from known values plus generated slot
+// values (aligned with Slots[fromSlot:]).
+func (e *Engine) assemble(known rules.Record, fromSlot int, vals []int64) rules.Record {
+	rec := rules.Record{}
+	for f, vs := range known {
+		rec[f] = append([]int64(nil), vs...)
+	}
+	for i, s := range e.cfg.Slots[fromSlot:] {
+		f, _ := e.cfg.Schema.Field(s.Field)
+		if rec[s.Field] == nil {
+			rec[s.Field] = make([]int64, f.Len)
+		}
+		rec[s.Field][s.Index] = vals[i]
+	}
+	return rec
+}
+
+// newPromptedSession starts an LM session primed with BOS and the prompt.
+func (e *Engine) newPromptedSession(prompt string) (Session, error) {
+	sess := e.cfg.LM.NewSession()
+	if err := sess.Append(vocab.BOS); err != nil {
+		return nil, err
+	}
+	ids, err := e.cfg.Tok.Encode(prompt)
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range ids {
+		if err := sess.Append(id); err != nil {
+			return nil, err
+		}
+	}
+	return sess, nil
+}
+
+// sampleMasked samples a token among allowed ids using the engine's
+// temperature and top-K, renormalizing the remaining mass so the model's
+// relative preferences among admissible tokens are preserved (the
+// minimal-invasiveness property, §3).
+func (e *Engine) sampleMasked(logits []float32, allowed []int, rng *rand.Rand) int {
+	if len(allowed) == 0 {
+		panic("core: sampleMasked with empty candidate set")
+	}
+	if len(allowed) == 1 {
+		return allowed[0]
+	}
+	type cand struct {
+		id int
+		l  float64
+	}
+	cands := make([]cand, len(allowed))
+	for i, id := range allowed {
+		cands[i] = cand{id: id, l: float64(logits[id]) / e.cfg.Temperature}
+	}
+	if k := e.cfg.TopK; k > 0 && k < len(cands) {
+		// Partial selection sort of the K largest.
+		for i := 0; i < k; i++ {
+			best := i
+			for j := i + 1; j < len(cands); j++ {
+				if cands[j].l > cands[best].l {
+					best = j
+				}
+			}
+			cands[i], cands[best] = cands[best], cands[i]
+		}
+		cands = cands[:k]
+	}
+	maxL := cands[0].l
+	for _, c := range cands[1:] {
+		if c.l > maxL {
+			maxL = c.l
+		}
+	}
+	var sum float64
+	ps := make([]float64, len(cands))
+	for i, c := range cands {
+		ps[i] = math.Exp(c.l - maxL)
+		sum += ps[i]
+	}
+	r := rng.Float64() * sum
+	for i, p := range ps {
+		r -= p
+		if r <= 0 {
+			return cands[i].id
+		}
+	}
+	return cands[len(cands)-1].id
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/rules"
+	"repro/internal/smt"
+)
+
+// DiagnoseInfeasible explains why no rule-compliant completion exists for
+// the known prefix: it returns a minimal subset of rule names that, together
+// with the known values and the field domains, is already unsatisfiable
+// (a minimal unsatisfiable core at rule granularity, computed by deletion
+// minimization).
+//
+// It returns an error if the prompt is actually feasible, and may return an
+// over-approximate core if the solver budget is exhausted mid-minimization.
+func (e *Engine) DiagnoseInfeasible(known rules.Record) ([]string, error) {
+	if e.cfg.Rules == nil {
+		return nil, fmt.Errorf("core: no rule set configured")
+	}
+	// A scratch solver so diagnosis never disturbs the decode solver.
+	s := smt.NewSolver()
+	if e.cfg.MaxNodes > 0 {
+		s.MaxNodes = e.cfg.MaxNodes
+	}
+	b := rules.Instantiate(s, e.cfg.Schema)
+	for f, vs := range known {
+		bv, ok := b.Vars(f)
+		if !ok {
+			return nil, fmt.Errorf("core: known field %q not in schema", f)
+		}
+		for i, v := range vs {
+			if i >= len(bv) {
+				return nil, fmt.Errorf("core: known field %q has too many values", f)
+			}
+			s.Assert(smt.Eq(smt.V(bv[i]), smt.C(v)))
+		}
+	}
+
+	// Compile each rule separately so they can be toggled.
+	compiled := make([]smt.Formula, len(e.cfg.Rules.Rules))
+	for i, r := range e.cfg.Rules.Rules {
+		f, err := e.cfg.Rules.Compile(r, b)
+		if err != nil {
+			return nil, fmt.Errorf("core: compiling rule %s: %w", r.Name, err)
+		}
+		compiled[i] = f
+	}
+
+	active := make([]bool, len(compiled))
+	for i := range active {
+		active[i] = true
+	}
+	conj := func() smt.Formula {
+		var fs []smt.Formula
+		for i, on := range active {
+			if on {
+				fs = append(fs, compiled[i])
+			}
+		}
+		return smt.And(fs...)
+	}
+
+	if r := s.CheckWith(conj()); r.Status == smt.Sat {
+		return nil, fmt.Errorf("core: prompt is feasible; nothing to diagnose")
+	}
+
+	// Deletion minimization: drop any rule whose removal keeps UNSAT.
+	for i := range compiled {
+		active[i] = false
+		r := s.CheckWith(conj())
+		if r.Status != smt.Unsat {
+			active[i] = true // needed for infeasibility (or unknown: keep)
+		}
+	}
+	var names []string
+	for i, on := range active {
+		if on {
+			names = append(names, e.cfg.Rules.Rules[i].Name)
+		}
+	}
+	return names, nil
+}
+
+// BatchResult pairs one prompt's decode outcome with its index.
+type BatchResult struct {
+	Index int
+	Res   Result
+	Err   error
+}
+
+// BatchImpute decodes many prompts in parallel, building one engine clone
+// per worker (engines are single-threaded; the underlying model's weights
+// are read-only and shared). Results are returned in prompt order. Each
+// prompt gets a deterministic per-index RNG derived from seed, so results
+// are reproducible regardless of worker count.
+func BatchImpute(cfg Config, prompts []rules.Record, workers int, seed int64) ([]BatchResult, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(prompts) {
+		workers = len(prompts)
+	}
+	out := make([]BatchResult, len(prompts))
+	if len(prompts) == 0 {
+		return out, nil
+	}
+
+	idx := make(chan int)
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		eng, err := NewEngine(cfg)
+		if err != nil {
+			return nil, err
+		}
+		go func(eng *Engine) {
+			for i := range idx {
+				rng := rand.New(rand.NewSource(seed + int64(i)*7919))
+				res, err := eng.Impute(prompts[i], rng)
+				out[i] = BatchResult{Index: i, Res: res, Err: err}
+			}
+			errc <- nil
+		}(eng)
+	}
+	for i := range prompts {
+		idx <- i
+	}
+	close(idx)
+	for w := 0; w < workers; w++ {
+		<-errc
+	}
+	return out, nil
+}

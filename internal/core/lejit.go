@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/rules"
+	"repro/internal/smt"
+	"repro/internal/transition"
+)
+
+// Impute generates the slots not covered by known, conditioned on the known
+// prefix (the paper's telemetry-imputation task: coarse counters in, fine
+// series out), enforcing the rule set Just-In-Time.
+func (e *Engine) Impute(known rules.Record, rng *rand.Rand) (Result, error) {
+	return e.guided(known, rng)
+}
+
+// Generate produces a full record unconditionally (the synthetic-data task),
+// enforcing the rule set Just-In-Time.
+func (e *Engine) Generate(rng *rand.Rand) (Result, error) {
+	return e.guided(nil, rng)
+}
+
+// guided is the LeJIT decoding loop (paper Fig 1b):
+//
+//  1. Compile-once rules live on the engine's solver; the known prefix is
+//     asserted under a Push frame.
+//  2. For each remaining slot, a character-level transition system
+//     (internal/transition, paper Fig 2) asks the solver range-feasibility
+//     queries — "does a rule-compliant completion exist in which this
+//     variable's value starts with these digits?" — which perform the
+//     lookahead over unfixed suffix variables for free, because the solver
+//     treats them as existentially quantified.
+//  3. Admissible tokens keep their model logits; everything else is masked
+//     and the remainder renormalized. When the value terminates, its
+//     equality is asserted, activating/deactivating rules for later slots
+//     (dynamic partial instantiation, §3 step ①–②).
+func (e *Engine) guided(known rules.Record, rng *rand.Rand) (Result, error) {
+	var res Result
+	prompt, fromSlot, err := e.promptFor(known)
+	if err != nil {
+		return res, err
+	}
+	checksBefore := e.solver.Stats().Checks
+
+	e.solver.Push()
+	defer e.solver.Pop()
+	for f, vs := range known {
+		bv, ok := e.binding.Vars(f)
+		if !ok {
+			return res, fmt.Errorf("core: known field %q not bound", f)
+		}
+		for i, v := range vs {
+			e.solver.Assert(smt.Eq(smt.V(bv[i]), smt.C(v)))
+		}
+	}
+	if r := e.solver.Check(); r.Status != smt.Sat {
+		res.Stats.SolverChecks = e.solver.Stats().Checks - checksBefore
+		return res, ErrInfeasible{Detail: fmt.Sprintf("prompt %q (%v)", prompt, r.Status)}
+	}
+
+	sess, err := e.newPromptedSession(prompt)
+	if err != nil {
+		return res, err
+	}
+
+	vals := make([]int64, 0, len(e.cfg.Slots)-fromSlot)
+	for _, slot := range e.cfg.Slots[fromSlot:] {
+		v, err := e.generateValue(slot, sess, rng, &res.Stats)
+		if err != nil {
+			res.Stats.SolverChecks = e.solver.Stats().Checks - checksBefore
+			return res, err
+		}
+		vals = append(vals, v)
+		// Dynamic partial instantiation: pin the completed value so the
+		// solver's view of active rules advances with generation.
+		e.solver.Assert(smt.Eq(smt.V(e.slotVar(slot)), smt.C(v)))
+	}
+	res.Rec = e.assemble(known, fromSlot, vals)
+	res.Stats.SolverChecks = e.solver.Stats().Checks - checksBefore
+	return res, nil
+}
+
+// generateValue decodes one slot's value character by character.
+func (e *Engine) generateValue(slot Slot, sess Session, rng *rand.Rand, st *Stats) (int64, error) {
+	f, _ := e.cfg.Schema.Field(slot.Field)
+	v := e.slotVar(slot)
+
+	var oracle transition.Oracle
+	if e.cfg.Mode == StructureOnly || e.cfg.Rules == nil {
+		lo, hi := f.Lo, f.Hi
+		oracle = func(qlo, qhi int64) bool { return qlo <= hi && lo <= qhi }
+	} else {
+		// The oracle's Checks are cacheable within one slot: the
+		// assertion store only changes when a value completes.
+		oracle = func(qlo, qhi int64) bool {
+			r := e.solver.CheckWith(smt.Ge(smt.V(v), smt.C(qlo)), smt.Le(smt.V(v), smt.C(qhi)))
+			return r.Status == smt.Sat
+		}
+		if !e.cfg.NoOracleCache {
+			oracle = transition.CachedOracle(oracle)
+		}
+	}
+	sys := transition.New(e.maxDigits[slot.Field], oracle)
+	if !sys.HasPath() {
+		return 0, ErrInfeasible{Detail: fmt.Sprintf("no feasible value for %s[%d]", slot.Field, slot.Index)}
+	}
+	// structural mirrors the grammar/width automaton with a trivially-true
+	// oracle, so Masked/Forced stats count only rule-driven pruning, not
+	// structural necessities like the separator after a max-width value.
+	structural := transition.New(e.maxDigits[slot.Field],
+		func(lo, hi int64) bool { return lo <= f.Hi && f.Lo <= hi })
+
+	sepID := e.cfg.Tok.ID(slot.Sep)
+	state := sys.Start()
+	allowed := make([]int, 0, 11)
+	for {
+		digits, canEnd := sys.Admissible(state)
+		allowed = allowed[:0]
+		for d := 0; d <= 9; d++ {
+			if digits[d] {
+				allowed = append(allowed, e.digitTok[d])
+			}
+		}
+		if canEnd {
+			allowed = append(allowed, sepID)
+		}
+		if len(allowed) == 0 {
+			// Unreachable if the lookahead invariant holds: the state
+			// was only entered because some completion existed.
+			return 0, fmt.Errorf("core: dead end at %s[%d] prefix %s (invariant breach)", slot.Field, slot.Index, state)
+		}
+		sDigits, sEnd := structural.Admissible(state)
+		nStruct := 0
+		for d := 0; d <= 9; d++ {
+			if sDigits[d] {
+				nStruct++
+			}
+		}
+		if sEnd {
+			nStruct++
+		}
+		if len(allowed) < nStruct {
+			st.MaskedSteps++
+			if len(allowed) == 1 {
+				st.ForcedSteps++
+			}
+		}
+
+		tok := e.sampleMasked(sess.Logits(), allowed, rng)
+		if e.cfg.TraceHook != nil {
+			e.cfg.TraceHook(TraceStep{
+				Field: slot.Field, Index: slot.Index, Prefix: state.String(),
+				Admissible: append([]int(nil), allowed...),
+				Structural: nStruct, Chosen: tok,
+			})
+		}
+		if err := sess.Append(tok); err != nil {
+			return 0, err
+		}
+		st.Tokens++
+		if tok == sepID {
+			return state.Value(), nil
+		}
+		var err error
+		state, err = sys.Step(state, e.cfg.Tok.Char(tok))
+		if err != nil {
+			return 0, fmt.Errorf("core: stepping transition system: %w", err)
+		}
+	}
+}

@@ -1,0 +1,391 @@
+// Package dataset simulates the per-rack datacenter telemetry the paper
+// evaluates on (the Meta dataset of Ghabashneh et al., IMC '22 — proprietary
+// traces we substitute with a generative simulator; see DESIGN.md §1).
+//
+// Each record is one coarse-grained measurement window for one rack:
+//
+//   - fine-grained ingress volumes I[0..T-1] (one per millisecond-scale
+//     sub-interval, capped by the link bandwidth BW),
+//   - coarse counters derived from the fine series with realistic noise:
+//     TotalIngress (conservation: Σ I_t), Congestion (ECN-marked bytes —
+//     positive only when a burst reached half the bandwidth, the paper's
+//     R3), Retrans (retransmissions, bounded by congestion), Egress
+//     (response traffic correlated with ingress), and Conns (active
+//     connections, correlated with load).
+//
+// Traffic follows a per-rack Markov-modulated on/off process with
+// heavy-tailed burst volumes, giving the cross-signal correlations the
+// paper's mined rules capture and enough stochasticity that an
+// unconstrained LM violates them at a double-digit rate.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"repro/internal/rules"
+)
+
+// Canonical dimensioning, matching the paper's running example (§2.1):
+// T = 5 fine-grained intervals per window, BW = 60 (normalized volume units).
+const (
+	T  = 5
+	BW = 60
+	// MaxCoarse bounds TotalIngress and Egress (T·BW).
+	MaxCoarse = T * BW
+	// MaxCongestion bounds the ECN-marked byte counter.
+	MaxCongestion = 100
+	// MaxRetrans bounds the retransmission counter.
+	MaxRetrans = 100
+	// MaxConns bounds the active-connection counter.
+	MaxConns = 40
+)
+
+// FineField is the name of the fine-grained vector field.
+const FineField = "I"
+
+// CoarseFields lists the coarse scalar fields in serialization order.
+func CoarseFields() []string {
+	return []string{"TotalIngress", "Congestion", "Retrans", "Egress", "Conns"}
+}
+
+// Schema returns the canonical telemetry schema shared by the whole system.
+func Schema() *rules.Schema {
+	return rules.MustSchema(
+		rules.Field{Name: "TotalIngress", Kind: rules.Scalar, Lo: 0, Hi: MaxCoarse},
+		rules.Field{Name: "Congestion", Kind: rules.Scalar, Lo: 0, Hi: MaxCongestion},
+		rules.Field{Name: "Retrans", Kind: rules.Scalar, Lo: 0, Hi: MaxRetrans},
+		rules.Field{Name: "Egress", Kind: rules.Scalar, Lo: 0, Hi: MaxCoarse},
+		rules.Field{Name: "Conns", Kind: rules.Scalar, Lo: 0, Hi: MaxConns},
+		rules.Field{Name: FineField, Kind: rules.Vector, Len: T, Lo: 0, Hi: BW},
+	)
+}
+
+// Window is one telemetry record attributed to a rack.
+type Window struct {
+	Rack int
+	Rec  rules.Record
+}
+
+// Config parameterizes the simulator. The defaults reproduce the paper's
+// evaluation scale: 90 racks (80 train / 10 test), enough windows per rack
+// that the test split exceeds 30K records when WindowsPerRack ≥ 3000 — the
+// experiment drivers use a smaller default and scale via flags.
+type Config struct {
+	Racks          int   // number of racks (0 → 90)
+	WindowsPerRack int   // windows per rack (0 → 400)
+	Seed           int64 // master seed
+
+	// DiurnalAmplitude ∈ [0,1] modulates each rack's duty cycle over a
+	// daily cycle of DiurnalPeriod windows (0 → no diurnal pattern).
+	// Datacenter racks show strong time-of-day load swings; this knob
+	// injects them without breaking any physical invariant.
+	DiurnalAmplitude float64
+	// DiurnalPeriod is the cycle length in windows (0 → 48).
+	DiurnalPeriod int
+	// AnomalyRate is the per-window probability of an incident window:
+	// sustained line-rate bursts with heavy ECN marking (0 → none).
+	// Anomalies still satisfy R1–R3 — they are extreme, not invalid.
+	AnomalyRate float64
+}
+
+func (c *Config) fill() {
+	if c.Racks == 0 {
+		c.Racks = 90
+	}
+	if c.WindowsPerRack == 0 {
+		c.WindowsPerRack = 400
+	}
+	if c.DiurnalPeriod == 0 {
+		c.DiurnalPeriod = 48
+	}
+}
+
+// rackProfile holds one rack's traffic personality, drawn per rack so that
+// racks differ (the paper splits train/test by rack, which only stresses
+// generalization if racks are heterogeneous).
+type rackProfile struct {
+	pBurst    float64 // chance an on-period escalates to a burst
+	pOn       float64 // on/off duty cycle
+	meanLoad  float64 // mean per-interval volume when on
+	burstSkew float64 // heavy-tail shape for burst volumes
+	egressMul float64 // egress-to-ingress ratio
+	connBase  int64   // baseline connection count
+}
+
+func drawProfile(rng *rand.Rand) rackProfile {
+	return rackProfile{
+		pBurst:    0.15 + 0.25*rng.Float64(),
+		pOn:       0.4 + 0.5*rng.Float64(),
+		meanLoad:  6 + 14*rng.Float64(),
+		burstSkew: 1.2 + rng.Float64(),
+		egressMul: 0.5 + 0.8*rng.Float64(),
+		connBase:  int64(4 + rng.Intn(12)),
+	}
+}
+
+// Generate produces the full corpus deterministically from the seed.
+func Generate(cfg Config) []Window {
+	cfg.fill()
+	master := rand.New(rand.NewSource(cfg.Seed))
+	out := make([]Window, 0, cfg.Racks*cfg.WindowsPerRack)
+	for rack := 0; rack < cfg.Racks; rack++ {
+		rng := rand.New(rand.NewSource(master.Int63()))
+		prof := drawProfile(rng)
+		// Markov on/off state persists across windows within a rack.
+		on := rng.Float64() < prof.pOn
+		for w := 0; w < cfg.WindowsPerRack; w++ {
+			// Diurnal modulation of the on-probability.
+			pOnBoost := 0.0
+			if cfg.DiurnalAmplitude > 0 {
+				phase := 2 * math.Pi * float64(w) / float64(cfg.DiurnalPeriod)
+				pOnBoost = cfg.DiurnalAmplitude * math.Sin(phase)
+			}
+			// State transitions between windows.
+			if on {
+				if rng.Float64() < clamp01(0.25-pOnBoost*0.2) {
+					on = false
+				}
+			} else if rng.Float64() < clamp01(0.45+pOnBoost*0.4) {
+				on = true
+			}
+			if cfg.AnomalyRate > 0 && rng.Float64() < cfg.AnomalyRate {
+				out = append(out, Window{Rack: rack, Rec: genAnomaly(rng)})
+				continue
+			}
+			out = append(out, Window{Rack: rack, Rec: genWindow(rng, prof, on)})
+		}
+	}
+	return out
+}
+
+// genWindow synthesizes one record obeying the physical invariants:
+// conservation (TotalIngress = Σ I), capacity (I_t ≤ BW), and the
+// ECN-causality rule (Congestion > 0 ⟹ max I ≥ BW/2).
+func genWindow(rng *rand.Rand, prof rackProfile, on bool) rules.Record {
+	fine := make([]int64, T)
+	burst := false
+	for t := 0; t < T; t++ {
+		var v float64
+		switch {
+		case !on:
+			// idle: sparse background chatter
+			if rng.Float64() < 0.3 {
+				v = rng.ExpFloat64() * 2
+			}
+		case rng.Float64() < prof.pBurst:
+			// burst: heavy-tailed, at least half bandwidth
+			v = float64(BW)/2 + math.Min(rng.ExpFloat64()*prof.burstSkew*8, float64(BW)/2)
+			burst = true
+		default:
+			// steady load
+			v = prof.meanLoad * (0.5 + rng.Float64())
+		}
+		if v < 0 {
+			v = 0
+		}
+		if v > BW {
+			v = BW
+		}
+		fine[t] = int64(math.Round(v))
+		if fine[t] >= BW/2 {
+			burst = true
+		}
+	}
+
+	var total int64
+	var maxI int64
+	for _, v := range fine {
+		total += v
+		if v > maxI {
+			maxI = v
+		}
+	}
+
+	// Congestion: ECN marks appear only with a genuine burst (R3 holds by
+	// construction) and scale with how far the burst exceeded 3/4 BW.
+	var congestion int64
+	if burst && maxI >= BW/2 {
+		excess := float64(0)
+		for _, v := range fine {
+			if d := float64(v) - 0.75*BW; d > 0 {
+				excess += d
+			}
+		}
+		congestion = int64(math.Round(excess*2 + rng.Float64()*6))
+		if maxI >= BW/2 && congestion == 0 && rng.Float64() < 0.5 {
+			congestion = 1 + int64(rng.Intn(3))
+		}
+		if congestion > MaxCongestion {
+			congestion = MaxCongestion
+		}
+	}
+
+	// Retransmissions trail congestion (never exceed it) with noise.
+	var retrans int64
+	if congestion > 0 {
+		retrans = int64(rng.Float64() * float64(congestion) * 0.8)
+	}
+
+	// Egress correlates with ingress through the rack's response ratio.
+	egress := int64(math.Round(float64(total)*prof.egressMul + rng.NormFloat64()*4))
+	if egress < 0 {
+		egress = 0
+	}
+	if egress > MaxCoarse {
+		egress = MaxCoarse
+	}
+
+	// Connections scale gently with load.
+	conns := prof.connBase + total/30 + int64(rng.Intn(4))
+	if conns > MaxConns {
+		conns = MaxConns
+	}
+	if conns < 1 {
+		conns = 1
+	}
+
+	return rules.Record{
+		"TotalIngress": {total},
+		"Congestion":   {congestion},
+		"Retrans":      {retrans},
+		"Egress":       {egress},
+		"Conns":        {conns},
+		FineField:      fine,
+	}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// genAnomaly synthesizes an incident window: sustained near-line-rate
+// ingress with heavy ECN marking and retransmissions. All invariants hold
+// (conservation, capacity, the burst-causality rule) — anomalies live in the
+// extreme tail of the legitimate space.
+func genAnomaly(rng *rand.Rand) rules.Record {
+	fine := make([]int64, T)
+	var total int64
+	for t := 0; t < T; t++ {
+		v := int64(BW) - int64(rng.Intn(BW/4))
+		fine[t] = v
+		total += v
+	}
+	congestion := int64(MaxCongestion) - int64(rng.Intn(20))
+	retrans := congestion - int64(rng.Intn(int(congestion/2)+1))
+	egress := total - int64(rng.Intn(40))
+	if egress > MaxCoarse {
+		egress = MaxCoarse
+	}
+	conns := int64(MaxConns) - int64(rng.Intn(8))
+	return rules.Record{
+		"TotalIngress": {total},
+		"Congestion":   {congestion},
+		"Retrans":      {retrans},
+		"Egress":       {egress},
+		"Conns":        {conns},
+		FineField:      fine,
+	}
+}
+
+// Split partitions windows into train/test by rack id: racks
+// [0, trainRacks) train, [trainRacks, trainRacks+testRacks) test, matching
+// the paper's 80-train / 10-test split.
+func Split(ws []Window, trainRacks, testRacks int) (train, test []Window) {
+	for _, w := range ws {
+		switch {
+		case w.Rack < trainRacks:
+			train = append(train, w)
+		case w.Rack < trainRacks+testRacks:
+			test = append(test, w)
+		}
+	}
+	return train, test
+}
+
+// Records projects windows to bare records.
+func Records(ws []Window) []rules.Record {
+	out := make([]rules.Record, len(ws))
+	for i, w := range ws {
+		out[i] = w.Rec
+	}
+	return out
+}
+
+// Format renders a record in the LM text format:
+//
+//	TotalIngress,Congestion,Retrans,Egress,Conns|I0,I1,I2,I3,I4\n
+//
+// Coarse fields come first so that the same trained model serves both tasks:
+// imputation prompts with the coarse prefix; synthesis starts from BOS.
+func Format(rec rules.Record) string {
+	var b strings.Builder
+	for i, f := range CoarseFields() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatInt(rec[f][0], 10))
+	}
+	b.WriteByte('|')
+	for i, v := range rec[FineField] {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatInt(v, 10))
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// ParseLine inverts Format. It validates shape but not domains; callers that
+// need domain guarantees should run Schema().Validate on the result.
+func ParseLine(line string) (rules.Record, error) {
+	line = strings.TrimSuffix(line, "\n")
+	parts := strings.Split(line, "|")
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("dataset: line %q: want exactly one '|'", line)
+	}
+	coarse := strings.Split(parts[0], ",")
+	names := CoarseFields()
+	if len(coarse) != len(names) {
+		return nil, fmt.Errorf("dataset: line %q: %d coarse values, want %d", line, len(coarse), len(names))
+	}
+	rec := rules.Record{}
+	for i, s := range coarse {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: coarse field %s: %v", names[i], err)
+		}
+		rec[names[i]] = []int64{v}
+	}
+	fine := strings.Split(parts[1], ",")
+	if len(fine) != T {
+		return nil, fmt.Errorf("dataset: line %q: %d fine values, want %d", line, len(fine), T)
+	}
+	vs := make([]int64, T)
+	for i, s := range fine {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: fine value %d: %v", i, err)
+		}
+		vs[i] = v
+	}
+	rec[FineField] = vs
+	return rec, nil
+}
+
+// Prompt renders the imputation prompt for a record: the coarse prefix up to
+// and including the '|' separator.
+func Prompt(rec rules.Record) string {
+	s := Format(rec)
+	return s[:strings.IndexByte(s, '|')+1]
+}

@@ -1,0 +1,268 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rules"
+)
+
+func TestGenerateShapeAndDomains(t *testing.T) {
+	ws := Generate(Config{Racks: 6, WindowsPerRack: 50, Seed: 1})
+	if len(ws) != 300 {
+		t.Fatalf("got %d windows, want 300", len(ws))
+	}
+	schema := Schema()
+	for i, w := range ws {
+		if err := schema.Validate(w.Rec); err != nil {
+			t.Fatalf("window %d: %v", i, err)
+		}
+		if w.Rack < 0 || w.Rack >= 6 {
+			t.Fatalf("window %d rack %d", i, w.Rack)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{Racks: 3, WindowsPerRack: 20, Seed: 42})
+	b := Generate(Config{Racks: 3, WindowsPerRack: 20, Seed: 42})
+	for i := range a {
+		sa, sb := Format(a[i].Rec), Format(b[i].Rec)
+		if sa != sb {
+			t.Fatalf("window %d differs: %q vs %q", i, sa, sb)
+		}
+	}
+	c := Generate(Config{Racks: 3, WindowsPerRack: 20, Seed: 43})
+	same := true
+	for i := range a {
+		if Format(a[i].Rec) != Format(c[i].Rec) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical corpora")
+	}
+}
+
+// TestPhysicalInvariants verifies the ground truth obeys the paper's R1-R3
+// (so the miner will discover them with full confidence).
+func TestPhysicalInvariants(t *testing.T) {
+	ws := Generate(Config{Racks: 10, WindowsPerRack: 200, Seed: 7})
+	for i, w := range ws {
+		fine := w.Rec[FineField]
+		var sum, maxI int64
+		for _, v := range fine {
+			if v < 0 || v > BW {
+				t.Fatalf("window %d: R1 violated: I=%v", i, fine)
+			}
+			sum += v
+			if v > maxI {
+				maxI = v
+			}
+		}
+		if sum != w.Rec["TotalIngress"][0] {
+			t.Fatalf("window %d: R2 violated: sum %d != TotalIngress %d", i, sum, w.Rec["TotalIngress"][0])
+		}
+		if w.Rec["Congestion"][0] > 0 && maxI < BW/2 {
+			t.Fatalf("window %d: R3 violated: congestion %d with max I %d", i, w.Rec["Congestion"][0], maxI)
+		}
+		if w.Rec["Retrans"][0] > w.Rec["Congestion"][0] {
+			t.Fatalf("window %d: retrans %d exceeds congestion %d", i, w.Rec["Retrans"][0], w.Rec["Congestion"][0])
+		}
+	}
+}
+
+// TestCorpusDiversity guards against degenerate generators: the corpus must
+// contain idle, loaded, and burst windows.
+func TestCorpusDiversity(t *testing.T) {
+	ws := Generate(Config{Racks: 20, WindowsPerRack: 100, Seed: 3})
+	var idle, congested, busy int
+	for _, w := range ws {
+		ti := w.Rec["TotalIngress"][0]
+		switch {
+		case ti == 0:
+			idle++
+		case w.Rec["Congestion"][0] > 0:
+			congested++
+		default:
+			busy++
+		}
+	}
+	n := len(ws)
+	if idle == 0 || congested < n/20 || busy < n/10 {
+		t.Errorf("degenerate corpus: idle=%d congested=%d busy=%d of %d", idle, congested, busy, n)
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	ws := Generate(Config{Racks: 4, WindowsPerRack: 25, Seed: 11})
+	for i, w := range ws {
+		line := Format(w.Rec)
+		if !strings.HasSuffix(line, "\n") {
+			t.Fatalf("window %d: no trailing newline: %q", i, line)
+		}
+		rec, err := ParseLine(line)
+		if err != nil {
+			t.Fatalf("window %d: %v", i, err)
+		}
+		if Format(rec) != line {
+			t.Fatalf("window %d: round trip %q -> %q", i, line, Format(rec))
+		}
+	}
+}
+
+func TestParseLineErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"1,2,3,4,5",
+		"1,2,3,4|1,2,3,4,5",
+		"1,2,3,4,5|1,2,3,4",
+		"1,2,x,4,5|1,2,3,4,5",
+		"1,2,3,4,5|1,2,3,4,y",
+		"1|2|3",
+	}
+	for _, line := range bad {
+		if _, err := ParseLine(line); err == nil {
+			t.Errorf("ParseLine(%q) should fail", line)
+		}
+	}
+}
+
+func TestPrompt(t *testing.T) {
+	rec := rules.Record{
+		"TotalIngress": {100}, "Congestion": {8}, "Retrans": {2},
+		"Egress": {90}, "Conns": {12}, FineField: {20, 15, 25, 30, 10},
+	}
+	p := Prompt(rec)
+	if p != "100,8,2,90,12|" {
+		t.Errorf("Prompt = %q", p)
+	}
+	if !strings.HasPrefix(Format(rec), p) {
+		t.Error("Prompt must be a prefix of Format")
+	}
+}
+
+func TestSplitByRack(t *testing.T) {
+	ws := Generate(Config{Racks: 10, WindowsPerRack: 10, Seed: 5})
+	train, test := Split(ws, 8, 2)
+	if len(train) != 80 || len(test) != 20 {
+		t.Fatalf("split %d/%d, want 80/20", len(train), len(test))
+	}
+	for _, w := range train {
+		if w.Rack >= 8 {
+			t.Fatal("train contains test rack")
+		}
+	}
+	for _, w := range test {
+		if w.Rack < 8 || w.Rack >= 10 {
+			t.Fatal("test rack out of range")
+		}
+	}
+}
+
+func TestRecordsProjection(t *testing.T) {
+	ws := Generate(Config{Racks: 2, WindowsPerRack: 3, Seed: 1})
+	recs := Records(ws)
+	if len(recs) != len(ws) {
+		t.Fatalf("len %d vs %d", len(recs), len(ws))
+	}
+	for i := range recs {
+		if Format(recs[i]) != Format(ws[i].Rec) {
+			t.Fatal("projection mismatch")
+		}
+	}
+}
+
+func TestSchemaMatchesConstants(t *testing.T) {
+	s := Schema()
+	f, ok := s.Field(FineField)
+	if !ok || f.Len != T || f.Hi != BW {
+		t.Errorf("fine field: %+v", f)
+	}
+	for _, name := range CoarseFields() {
+		if _, ok := s.Field(name); !ok {
+			t.Errorf("coarse field %s missing from schema", name)
+		}
+	}
+}
+
+// TestDiurnalPatternCreatesLoadCycle: with diurnal modulation on, load must
+// correlate with the cycle phase (peak-half mean load exceeds trough-half).
+func TestDiurnalPatternCreatesLoadCycle(t *testing.T) {
+	cfg := Config{Racks: 20, WindowsPerRack: 96, Seed: 13, DiurnalAmplitude: 0.9, DiurnalPeriod: 48}
+	ws := Generate(cfg)
+	var peak, trough float64
+	var nPeak, nTrough int
+	for i, w := range ws {
+		// Windows are emitted rack-major in order, so the within-rack
+		// index is the position modulo WindowsPerRack.
+		idx := i % cfg.WindowsPerRack
+		phase := float64(idx%cfg.DiurnalPeriod) / float64(cfg.DiurnalPeriod)
+		ti := float64(w.Rec["TotalIngress"][0])
+		if phase < 0.5 { // sin > 0: boosted duty cycle
+			peak += ti
+			nPeak++
+		} else {
+			trough += ti
+			nTrough++
+		}
+	}
+	peak /= float64(nPeak)
+	trough /= float64(nTrough)
+	if peak <= trough*1.1 {
+		t.Errorf("no diurnal signal: peak-half mean %.1f vs trough-half %.1f", peak, trough)
+	}
+	// And every window still validates.
+	schema := Schema()
+	for i, w := range ws {
+		if err := schema.Validate(w.Rec); err != nil {
+			t.Fatalf("window %d: %v", i, err)
+		}
+	}
+}
+
+// TestAnomalyInjection: anomaly windows appear at roughly the configured
+// rate, sit in the extreme tail, and still satisfy every invariant.
+func TestAnomalyInjection(t *testing.T) {
+	cfg := Config{Racks: 10, WindowsPerRack: 200, Seed: 17, AnomalyRate: 0.05}
+	ws := Generate(cfg)
+	extreme := 0
+	for i, w := range ws {
+		if err := Schema().Validate(w.Rec); err != nil {
+			t.Fatalf("window %d: %v", i, err)
+		}
+		fine := w.Rec[FineField]
+		var sum, maxI int64
+		for _, v := range fine {
+			sum += v
+			if v > maxI {
+				maxI = v
+			}
+		}
+		if sum != w.Rec["TotalIngress"][0] {
+			t.Fatalf("window %d: conservation broken", i)
+		}
+		if w.Rec["Congestion"][0] > 0 && maxI < BW/2 {
+			t.Fatalf("window %d: R3 broken", i)
+		}
+		if w.Rec["TotalIngress"][0] > 250 {
+			extreme++
+		}
+	}
+	rate := float64(extreme) / float64(len(ws))
+	if rate < 0.02 || rate > 0.12 {
+		t.Errorf("extreme-window rate %.3f, expected near the 5%% anomaly rate", rate)
+	}
+	// Without anomalies such windows are essentially absent.
+	base := Generate(Config{Racks: 10, WindowsPerRack: 200, Seed: 17})
+	baseExtreme := 0
+	for _, w := range base {
+		if w.Rec["TotalIngress"][0] > 250 {
+			baseExtreme++
+		}
+	}
+	if baseExtreme >= extreme {
+		t.Errorf("anomaly injection indistinguishable from baseline: %d vs %d", baseExtreme, extreme)
+	}
+}

@@ -1,0 +1,28 @@
+package dataset
+
+import "testing"
+
+// FuzzParseLine: arbitrary text must parse or error, never panic, and
+// anything accepted must round-trip through Format.
+func FuzzParseLine(f *testing.F) {
+	f.Add("100,8,2,90,12|20,15,25,30,10")
+	f.Add("0,0,0,0,0|0,0,0,0,0")
+	f.Add("|")
+	f.Add("1,2,3,4,5|6,7,8,9")
+	f.Add("a|b")
+	f.Add("1|2|3")
+	f.Add("999999999999999999999,0,0,0,0|0,0,0,0,0")
+	f.Fuzz(func(t *testing.T, line string) {
+		rec, err := ParseLine(line)
+		if err != nil {
+			return
+		}
+		back, err := ParseLine(Format(rec))
+		if err != nil {
+			t.Fatalf("Format of accepted record unparseable: %v", err)
+		}
+		if Format(back) != Format(rec) {
+			t.Fatalf("round trip unstable: %q vs %q", Format(back), Format(rec))
+		}
+	})
+}

@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/rules"
+)
+
+// AblationResult measures one engine configuration on the imputation task
+// (the design-choice ablations listed in DESIGN.md §3).
+type AblationResult struct {
+	Config            string
+	RuleCount         int
+	Records           int
+	Failures          int
+	PairViolationRate float64 // vs the FULL mined set, regardless of the subset enforced
+	MAE               float64
+	SolverChecks      uint64
+	Total             time.Duration
+}
+
+// RunRuleSetSizeAblation enforces growing fractions of the mined rule set
+// and measures residual violations against the full set — the paper's
+// observation that "performance improves as rule quality increases" (§4.1).
+func RunRuleSetSizeAblation(env *Env, fractions []float64) ([]AblationResult, error) {
+	if len(fractions) == 0 {
+		fractions = []float64{0, 0.25, 0.5, 1.0}
+	}
+	test := env.TestRecordsN(0)
+	var out []AblationResult
+	for _, frac := range fractions {
+		n := int(frac * float64(env.ImputeRules.Len()))
+		idx := 0
+		sub := env.ImputeRules.Filter(func(rules.Rule) bool {
+			idx++
+			return idx <= n
+		})
+		var eng *core.Engine
+		var err error
+		name := fmt.Sprintf("%.0f%% of rules", frac*100)
+		if n == 0 {
+			eng, err = env.EngineFor(env.ImputeRules, core.StructureOnly)
+			name = "0% (structure only)"
+		} else {
+			eng, err = env.EngineFor(sub, core.LeJIT)
+		}
+		if err != nil {
+			return nil, err
+		}
+		res, err := runAblation(env, name, n, eng, test)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// RunCacheAblation compares LeJIT decoding with and without the per-slot
+// oracle cache (solver-call volume and wall time).
+func RunCacheAblation(env *Env) ([]AblationResult, error) {
+	test := env.TestRecordsN(0)
+	var out []AblationResult
+	for _, noCache := range []bool{false, true} {
+		slots, err := core.TelemetryGrammar(env.Schema, dataset.CoarseFields(), dataset.FineField)
+		if err != nil {
+			return nil, err
+		}
+		eng, err := core.NewEngine(core.Config{
+			LM: core.WrapNN(env.Model), Tok: env.Tok, Schema: env.Schema,
+			Rules: env.ImputeRules, Slots: slots, Mode: core.LeJIT,
+			Temperature: env.Scale.Temperature, NoOracleCache: noCache,
+		})
+		if err != nil {
+			return nil, err
+		}
+		name := "oracle cache ON"
+		if noCache {
+			name = "oracle cache OFF"
+		}
+		res, err := runAblation(env, name, env.ImputeRules.Len(), eng, test)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// RunDecodeStrategyAblation compares sampling (at the configured
+// temperature) against greedy and beam-search decoding — all rule-enforced,
+// differing only in how the model's preferences are consumed.
+func RunDecodeStrategyAblation(env *Env, widths []int) ([]AblationResult, error) {
+	if len(widths) == 0 {
+		widths = []int{1, 4}
+	}
+	test := env.TestRecordsN(0)
+	eng, err := env.EngineFor(env.ImputeRules, core.LeJIT)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]AblationResult, 0, 1+len(widths))
+	res, err := runAblation(env, "sampling", env.ImputeRules.Len(), eng, test)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, res)
+
+	for _, w := range widths {
+		name := fmt.Sprintf("beam-%d", w)
+		if w == 1 {
+			name = "greedy (beam-1)"
+		}
+		res := AblationResult{Config: name, RuleCount: env.ImputeRules.Len(), Records: len(test)}
+		checksBefore := eng.SolverStats().Checks
+		var preds, truths [][]int64
+		var outRecs []rules.Record
+		start := time.Now()
+		for _, rec := range test {
+			got, err := eng.BeamImpute(CoarseOf(rec), w)
+			if err != nil {
+				res.Failures++
+				continue
+			}
+			outRecs = append(outRecs, got.Rec)
+			preds = append(preds, got.Rec[dataset.FineField])
+			truths = append(truths, rec[dataset.FineField])
+		}
+		res.Total = time.Since(start)
+		res.SolverChecks = eng.SolverStats().Checks - checksBefore
+		if len(outRecs) > 0 {
+			res.PairViolationRate, _, err = env.ImputeRules.ViolationRate(outRecs)
+			if err != nil {
+				return nil, err
+			}
+			res.MAE, err = metrics.MAE(preds, truths)
+			if err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+func runAblation(env *Env, name string, ruleCount int, eng *core.Engine, test []rules.Record) (AblationResult, error) {
+	rng := rand.New(rand.NewSource(env.Scale.Seed + 3000))
+	res := AblationResult{Config: name, RuleCount: ruleCount, Records: len(test)}
+	checksBefore := eng.SolverStats().Checks
+
+	var preds, truths [][]int64
+	var outRecs []rules.Record
+	start := time.Now()
+	for _, rec := range test {
+		got, err := eng.Impute(CoarseOf(rec), rng)
+		if err != nil {
+			res.Failures++
+			continue
+		}
+		outRecs = append(outRecs, got.Rec)
+		preds = append(preds, got.Rec[dataset.FineField])
+		truths = append(truths, rec[dataset.FineField])
+	}
+	res.Total = time.Since(start)
+	res.SolverChecks = eng.SolverStats().Checks - checksBefore
+	if len(outRecs) == 0 {
+		return res, nil
+	}
+	var err error
+	res.PairViolationRate, _, err = env.ImputeRules.ViolationRate(outRecs)
+	if err != nil {
+		return res, err
+	}
+	res.MAE, err = metrics.MAE(preds, truths)
+	return res, err
+}
+
+// AblationTable renders ablation results.
+func AblationTable(title string, rs []AblationResult) Table {
+	t := Table{
+		Title:  title,
+		Header: []string{"config", "rules", "failures", "pair-violation %", "MAE", "solver checks", "total"},
+	}
+	for _, r := range rs {
+		t.Rows = append(t.Rows, []string{
+			r.Config, itoa(r.RuleCount), itoa(r.Failures),
+			pct(r.PairViolationRate), f3(r.MAE), itoa64(r.SolverChecks),
+			r.Total.Round(time.Millisecond).String(),
+		})
+	}
+	return t
+}

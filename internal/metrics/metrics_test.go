@@ -1,0 +1,214 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestEMDIdentical(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	if d := EMD(a, a); d != 0 {
+		t.Errorf("EMD(a,a) = %v", d)
+	}
+}
+
+func TestEMDShift(t *testing.T) {
+	// Shifting a distribution by c moves EMD by exactly c.
+	a := []float64{0, 1, 2, 3}
+	b := []float64{5, 6, 7, 8}
+	if d := EMD(a, b); math.Abs(d-5) > 1e-12 {
+		t.Errorf("EMD shifted = %v, want 5", d)
+	}
+}
+
+func TestEMDPointMasses(t *testing.T) {
+	if d := EMD([]float64{0}, []float64{3}); math.Abs(d-3) > 1e-12 {
+		t.Errorf("EMD point masses = %v, want 3", d)
+	}
+}
+
+func TestEMDSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		a := randSample(rng, 1+rng.Intn(30))
+		b := randSample(rng, 1+rng.Intn(30))
+		if d1, d2 := EMD(a, b), EMD(b, a); math.Abs(d1-d2) > 1e-9 {
+			t.Fatalf("EMD not symmetric: %v vs %v", d1, d2)
+		}
+	}
+}
+
+func TestEMDUnequalSizes(t *testing.T) {
+	// {0,0} vs {0}: same distribution → 0.
+	if d := EMD([]float64{0, 0}, []float64{0}); d != 0 {
+		t.Errorf("EMD same dist different n = %v", d)
+	}
+	// Uniform{0,1} vs point{0}: EMD = 0.5.
+	if d := EMD([]float64{0, 1}, []float64{0}); math.Abs(d-0.5) > 1e-12 {
+		t.Errorf("EMD = %v, want 0.5", d)
+	}
+}
+
+func randSample(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.Float64() * 10
+	}
+	return out
+}
+
+func TestJSDBounds(t *testing.T) {
+	a := []float64{1, 1, 1, 1}
+	b := []float64{9, 9, 9, 9}
+	d := JSD(a, b, 10, 0, 10)
+	if math.Abs(d-1) > 1e-9 {
+		t.Errorf("disjoint JSD = %v, want 1", d)
+	}
+	if d := JSD(a, a, 10, 0, 10); d != 0 {
+		t.Errorf("identical JSD = %v, want 0", d)
+	}
+	mixed := []float64{1, 9, 1, 9}
+	d = JSD(a, mixed, 10, 0, 10)
+	if d <= 0 || d >= 1 {
+		t.Errorf("partial-overlap JSD = %v, want in (0,1)", d)
+	}
+}
+
+func TestJSDDegenerate(t *testing.T) {
+	if !math.IsNaN(JSD(nil, []float64{1}, 10, 0, 10)) {
+		t.Error("empty sample should yield NaN")
+	}
+	if !math.IsNaN(JSD([]float64{1}, []float64{1}, 0, 0, 10)) {
+		t.Error("zero bins should yield NaN")
+	}
+	if !math.IsNaN(JSD([]float64{1}, []float64{1}, 10, 5, 5)) {
+		t.Error("empty range should yield NaN")
+	}
+}
+
+func TestMAE(t *testing.T) {
+	pred := [][]int64{{1, 2, 3}, {4, 5, 6}}
+	truth := [][]int64{{1, 2, 5}, {4, 5, 6}}
+	m, err := MAE(pred, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2.0 / 6.0; math.Abs(m-want) > 1e-12 {
+		t.Errorf("MAE = %v, want %v", m, want)
+	}
+	if _, err := MAE(pred, truth[:1]); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 5}, {50, 3}, {25, 2},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("empty percentile should be NaN")
+	}
+}
+
+func TestP99Error(t *testing.T) {
+	truth := [][]int64{{10, 10, 10, 100}}
+	perfect := [][]int64{{10, 10, 10, 100}}
+	if e := P99Error(perfect, truth); e > 1e-9 {
+		t.Errorf("perfect p99 error = %v", e)
+	}
+	low := [][]int64{{10, 10, 10, 50}}
+	if e := P99Error(low, truth); e <= 0 {
+		t.Errorf("under-predicting tail should have positive error, got %v", e)
+	}
+}
+
+func TestAutocorr(t *testing.T) {
+	// Alternating series has lag-1 autocorrelation near -1.
+	alt := []float64{1, -1, 1, -1, 1, -1, 1, -1}
+	if a := Autocorr(alt, 1); a > -0.7 {
+		t.Errorf("alternating lag-1 = %v, want strongly negative", a)
+	}
+	// Constant series is undefined.
+	if !math.IsNaN(Autocorr([]float64{3, 3, 3}, 1)) {
+		t.Error("constant series should be NaN")
+	}
+	if !math.IsNaN(Autocorr(alt, 0)) || !math.IsNaN(Autocorr(alt, 8)) {
+		t.Error("invalid lags should be NaN")
+	}
+}
+
+func TestAutocorrError(t *testing.T) {
+	a := [][]int64{{1, 2, 3, 4, 5}}
+	if e := AutocorrError(a, a); e != 0 {
+		t.Errorf("self autocorr error = %v", e)
+	}
+	b := [][]int64{{5, 1, 5, 1, 5}}
+	if e := AutocorrError(a, b); e <= 0 {
+		t.Errorf("different temporal structure should have positive error: %v", e)
+	}
+}
+
+func TestFindBursts(t *testing.T) {
+	series := []int64{5, 30, 35, 5, 40, 5}
+	bs := FindBursts(series, 30)
+	if len(bs) != 2 {
+		t.Fatalf("got %d bursts, want 2: %+v", len(bs), bs)
+	}
+	if bs[0].Start != 1 || bs[0].End != 3 || bs[0].Volume != 65 || bs[0].Peak != 35 {
+		t.Errorf("burst 0 = %+v", bs[0])
+	}
+	if bs[1].Start != 4 || bs[1].End != 5 || bs[1].Volume != 40 {
+		t.Errorf("burst 1 = %+v", bs[1])
+	}
+	if bs := FindBursts([]int64{1, 2, 3}, 30); len(bs) != 0 {
+		t.Errorf("no bursts expected: %+v", bs)
+	}
+	// Burst spanning the whole window.
+	if bs := FindBursts([]int64{30, 30}, 30); len(bs) != 1 || bs[0].End != 2 {
+		t.Errorf("full-window burst: %+v", bs)
+	}
+}
+
+func TestBurstAnalysisPerfect(t *testing.T) {
+	truth := [][]int64{{5, 30, 35, 5, 40}, {0, 0, 0, 0, 0}}
+	st, err := BurstAnalysis(truth, truth, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CountErr != 0 || st.VolumeErr != 0 || st.PositionErr != 0 {
+		t.Errorf("perfect analysis should be zero: %+v", st)
+	}
+}
+
+func TestBurstAnalysisErrors(t *testing.T) {
+	truth := [][]int64{{5, 30, 35, 5, 40}}
+	pred := [][]int64{{30, 30, 35, 5, 5}} // one merged burst instead of two, shifted
+	st, err := BurstAnalysis(pred, truth, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CountErr <= 0 || st.VolumeErr <= 0 || st.PositionErr <= 0 {
+		t.Errorf("imperfect prediction should have positive errors: %+v", st)
+	}
+	// Spurious burst where truth has none.
+	st, err = BurstAnalysis([][]int64{{40, 0, 0}}, [][]int64{{0, 0, 0}}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.VolumeErr != 1 {
+		t.Errorf("spurious-burst volume error = %v, want 1", st.VolumeErr)
+	}
+	if _, err := BurstAnalysis(nil, nil, 30); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := BurstAnalysis([][]int64{{1}}, [][]int64{{1}, {2}}, 30); err == nil {
+		t.Error("length mismatch should error")
+	}
+}

@@ -1,0 +1,149 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func sampleFrom(rng *rand.Rand, n int, scale float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.Float64() * scale
+	}
+	return out
+}
+
+// TestEMDTriangleInequality: EMD is a metric, so d(a,c) ≤ d(a,b) + d(b,c).
+func TestEMDTriangleInequality(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(20)
+		a := sampleFrom(rng, n, 10)
+		b := sampleFrom(rng, 1+rng.Intn(20), 10)
+		c := sampleFrom(rng, 1+rng.Intn(20), 10)
+		dac := EMD(a, c)
+		dab := EMD(a, b)
+		dbc := EMD(b, c)
+		if dac > dab+dbc+1e-9 {
+			t.Fatalf("triangle violated: d(a,c)=%v > %v + %v", dac, dab, dbc)
+		}
+	}
+}
+
+// TestEMDTranslationInvariance: shifting both samples by the same constant
+// leaves EMD unchanged; shifting one by c changes it by at most |c|.
+func TestEMDTranslationInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 50; trial++ {
+		a := sampleFrom(rng, 1+rng.Intn(15), 10)
+		b := sampleFrom(rng, 1+rng.Intn(15), 10)
+		c := rng.Float64()*10 - 5
+		shift := func(xs []float64) []float64 {
+			out := make([]float64, len(xs))
+			for i, v := range xs {
+				out[i] = v + c
+			}
+			return out
+		}
+		d0 := EMD(a, b)
+		d1 := EMD(shift(a), shift(b))
+		if math.Abs(d0-d1) > 1e-9 {
+			t.Fatalf("shift changed EMD: %v vs %v", d0, d1)
+		}
+		d2 := EMD(shift(a), b)
+		if d2 > d0+math.Abs(c)+1e-9 || d2 < d0-math.Abs(c)-1e-9 {
+			t.Fatalf("one-sided shift moved EMD by more than |c|: %v -> %v (c=%v)", d0, d2, c)
+		}
+	}
+}
+
+// TestJSDSymmetry via testing/quick.
+func TestJSDSymmetry(t *testing.T) {
+	f := func(seedA, seedB int64) bool {
+		ra := rand.New(rand.NewSource(seedA))
+		rb := rand.New(rand.NewSource(seedB))
+		a := sampleFrom(ra, 1+ra.Intn(30), 10)
+		b := sampleFrom(rb, 1+rb.Intn(30), 10)
+		d1 := JSD(a, b, 12, 0, 10)
+		d2 := JSD(b, a, 12, 0, 10)
+		return math.Abs(d1-d2) < 1e-12 && d1 >= 0 && d1 <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPercentileMonotone: percentiles are non-decreasing in p.
+func TestPercentileMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 50; trial++ {
+		xs := sampleFrom(rng, 1+rng.Intn(40), 100)
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 7 {
+			v := Percentile(xs, p)
+			if v < prev {
+				t.Fatalf("P%v=%v < P(prev)=%v", p, v, prev)
+			}
+			prev = v
+		}
+	}
+}
+
+// TestBurstsPartitionVolume: the sum of burst volumes plus sub-threshold
+// volume equals the series total — FindBursts neither loses nor double
+// counts.
+func TestBurstsPartitionVolume(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(30)
+		series := make([]int64, n)
+		var total int64
+		for i := range series {
+			series[i] = int64(rng.Intn(60))
+			total += series[i]
+		}
+		const thr = 30
+		var burstVol, quietVol int64
+		for _, b := range FindBursts(series, thr) {
+			burstVol += b.Volume
+			if b.Start >= b.End {
+				t.Fatalf("empty burst %+v", b)
+			}
+			if b.Peak < thr {
+				t.Fatalf("burst peak %d below threshold", b.Peak)
+			}
+		}
+		for _, v := range series {
+			if v < thr {
+				quietVol += v
+			}
+		}
+		if burstVol+quietVol != total {
+			t.Fatalf("partition broken: %d + %d != %d", burstVol, quietVol, total)
+		}
+	}
+}
+
+// TestBurstsAreMaximalAndDisjoint: bursts never touch or overlap.
+func TestBurstsAreMaximalAndDisjoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	for trial := 0; trial < 100; trial++ {
+		series := make([]int64, 1+rng.Intn(30))
+		for i := range series {
+			series[i] = int64(rng.Intn(60))
+		}
+		bs := FindBursts(series, 30)
+		for i, b := range bs {
+			if i > 0 && b.Start <= bs[i-1].End {
+				t.Fatalf("bursts touch/overlap: %+v then %+v (non-maximal)", bs[i-1], b)
+			}
+			for t0 := b.Start; t0 < b.End; t0++ {
+				if series[t0] < 30 {
+					t.Fatalf("burst %+v contains sub-threshold interval %d", b, t0)
+				}
+			}
+		}
+	}
+}

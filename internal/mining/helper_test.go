@@ -1,0 +1,13 @@
+package mining
+
+import (
+	"repro/internal/rules"
+	"repro/internal/smt"
+)
+
+// newSolverBinding creates a solver with one variable per schema field
+// element, for compile-smoke tests.
+func newSolverBinding(schema *rules.Schema) (*smt.Solver, *rules.Binding) {
+	s := smt.NewSolver()
+	return s, rules.Instantiate(s, schema)
+}

@@ -1,0 +1,524 @@
+// Package mining implements a NetNomos-style rule miner (the paper obtains
+// its 716 imputation rules and 255 synthesis rules by "applying NetNomos on
+// the training data"; NetNomos itself is closed research code, so this is
+// the substitute documented in DESIGN.md §1).
+//
+// The miner discovers, from a training corpus, hard rules of the classes the
+// paper's evaluation exercises:
+//
+//   - bounds: observed [min, max] per value term (with configurable slack),
+//   - pairwise linear inequalities A ≤ k·B + c with the tightest consistent c,
+//   - aggregate thresholds (max/min of the fine-grained vector),
+//   - conservation sums (Σ I = TotalIngress when exact in the data),
+//   - temporal smoothness (|I[t+1] − I[t]| ≤ c),
+//   - conditional implications (antecedent > threshold ⟹ consequent),
+//     kept only at 100% confidence and configurable minimum support.
+//
+// All mined rules hold on every training record by construction; vacuous
+// rules (implied by the schema domains alone) are pruned. Output is DSL text
+// parsed back through rules.ParseRuleSet, so every mined rule is guaranteed
+// well-formed and compilable.
+package mining
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/rules"
+)
+
+// Config controls which rule classes are mined and how aggressively.
+type Config struct {
+	// Fields restricts mining to these schema fields (nil → all fields).
+	// The paper's synthesis task mines only coarse-signal rules; pass the
+	// coarse field names for that behaviour.
+	Fields []string
+	// Slack widens mined bounds and pairwise constants by this much,
+	// trading tightness for generalization to unseen racks (0 → 0).
+	Slack int64
+	// Coeffs are the multipliers tried in pairwise rules A ≤ k·B + c
+	// (nil → {1, 2}).
+	Coeffs []int64
+	// MinSupport is the minimum number of records in which an
+	// implication's antecedent holds (0 → max(10, 1% of corpus)).
+	MinSupport int
+	// Disable flags for ablations; all classes are on by default.
+	NoBounds, NoPairwise, NoAggregates, NoSums, NoSmoothness, NoImplications, NoCounts bool
+}
+
+func (c *Config) fill(n int) {
+	if c.Coeffs == nil {
+		c.Coeffs = []int64{1, 2}
+	}
+	if c.MinSupport == 0 {
+		c.MinSupport = n / 100
+		if c.MinSupport < 10 {
+			c.MinSupport = 10
+		}
+	}
+}
+
+// term is one minable value: a scalar field, one vector element, or the
+// vector sum. ref is the DSL expression; lo/hi its domain bounds.
+type term struct {
+	name   string // identifier-safe name for rule naming
+	ref    string // DSL expression, e.g. "Congestion", "I[2]", "sum(I)"
+	lo, hi int64
+	get    func(rules.Record) int64
+}
+
+// Mine discovers rules from the corpus. The result parses against schema and
+// holds on every record in recs.
+func Mine(recs []rules.Record, schema *rules.Schema, cfg Config) (*rules.RuleSet, error) {
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("mining: empty corpus")
+	}
+	cfg.fill(len(recs))
+
+	allow := map[string]bool{}
+	for _, f := range cfg.Fields {
+		allow[f] = true
+	}
+	allowed := func(name string) bool { return len(allow) == 0 || allow[name] }
+
+	// Build the term list.
+	var terms []term
+	var vectors []rules.Field
+	for _, f := range schema.Fields() {
+		if !allowed(f.Name) {
+			continue
+		}
+		if f.Kind == rules.Scalar {
+			name := f.Name
+			terms = append(terms, term{
+				name: name, ref: name, lo: f.Lo, hi: f.Hi,
+				get: func(r rules.Record) int64 { return r[name][0] },
+			})
+			continue
+		}
+		vectors = append(vectors, f)
+		for i := 0; i < f.Len; i++ {
+			name, idx := f.Name, i
+			terms = append(terms, term{
+				name: fmt.Sprintf("%s_%d", name, idx),
+				ref:  fmt.Sprintf("%s[%d]", name, idx),
+				lo:   f.Lo, hi: f.Hi,
+				get: func(r rules.Record) int64 { return r[name][idx] },
+			})
+		}
+		// The vector sum participates in pairwise mining (linear).
+		name := f.Name
+		terms = append(terms, term{
+			name: "sum_" + name, ref: fmt.Sprintf("sum(%s)", name),
+			lo: f.Lo * int64(f.Len), hi: f.Hi * int64(f.Len),
+			get: func(r rules.Record) int64 {
+				var s int64
+				for _, v := range r[name] {
+					s += v
+				}
+				return s
+			},
+		})
+	}
+	if len(terms) == 0 {
+		return nil, fmt.Errorf("mining: no fields to mine (filter %v)", cfg.Fields)
+	}
+
+	// Precompute term values per record.
+	vals := make([][]int64, len(terms))
+	for ti, tm := range terms {
+		col := make([]int64, len(recs))
+		for ri, rec := range recs {
+			col[ri] = tm.get(rec)
+		}
+		vals[ti] = col
+	}
+
+	var b strings.Builder
+	emit := func(name, body string) {
+		fmt.Fprintf(&b, "rule %s: %s\n", name, body)
+	}
+
+	if !cfg.NoBounds {
+		mineBounds(terms, vals, cfg, emit)
+	}
+	if !cfg.NoAggregates {
+		mineAggregates(vectors, recs, cfg, emit)
+	}
+	if !cfg.NoSums {
+		mineSums(terms, vals, emit)
+	}
+	if !cfg.NoSmoothness {
+		mineSmoothness(vectors, recs, cfg, emit)
+	}
+	if !cfg.NoCounts {
+		mineCounts(vectors, recs, cfg, emit)
+	}
+	if !cfg.NoPairwise {
+		minePairwise(terms, vals, cfg, emit)
+	}
+	if !cfg.NoImplications {
+		mineImplications(terms, vals, cfg, emit)
+		mineAggImplications(terms, vals, vectors, recs, cfg, emit)
+	}
+
+	rs, err := rules.ParseRuleSet(b.String(), schema)
+	if err != nil {
+		return nil, fmt.Errorf("mining: generated invalid DSL (bug): %w\n%s", err, b.String())
+	}
+	// Safety net: every mined rule must hold on the corpus.
+	for _, rec := range recs {
+		vs, err := rs.Violations(rec)
+		if err != nil {
+			return nil, fmt.Errorf("mining: evaluating mined rules: %w", err)
+		}
+		if len(vs) > 0 {
+			return nil, fmt.Errorf("mining: mined rules %v violated by training record (bug)", vs)
+		}
+	}
+	return rs, nil
+}
+
+func clamp(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// mineBounds emits observed-range rules per term, skipping sides already
+// implied by the domain.
+func mineBounds(terms []term, vals [][]int64, cfg Config, emit func(string, string)) {
+	for ti, tm := range terms {
+		lo, hi := vals[ti][0], vals[ti][0]
+		for _, v := range vals[ti] {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		lo = clamp(lo-cfg.Slack, tm.lo, tm.hi)
+		hi = clamp(hi+cfg.Slack, tm.lo, tm.hi)
+		var parts []string
+		if lo > tm.lo {
+			parts = append(parts, fmt.Sprintf("%s >= %d", tm.ref, lo))
+		}
+		if hi < tm.hi {
+			parts = append(parts, fmt.Sprintf("%s <= %d", tm.ref, hi))
+		}
+		if len(parts) > 0 {
+			emit("bound_"+tm.name, strings.Join(parts, " and "))
+		}
+	}
+}
+
+// mineAggregates emits max/min threshold rules per vector field.
+func mineAggregates(vectors []rules.Field, recs []rules.Record, cfg Config, emit func(string, string)) {
+	for _, f := range vectors {
+		maxHi, minLo := f.Lo, f.Hi
+		for _, rec := range recs {
+			vs := rec[f.Name]
+			mx, mn := vs[0], vs[0]
+			for _, v := range vs[1:] {
+				if v > mx {
+					mx = v
+				}
+				if v < mn {
+					mn = v
+				}
+			}
+			if mx > maxHi {
+				maxHi = mx
+			}
+			if mn < minLo {
+				minLo = mn
+			}
+		}
+		maxHi = clamp(maxHi+cfg.Slack, f.Lo, f.Hi)
+		minLo = clamp(minLo-cfg.Slack, f.Lo, f.Hi)
+		if maxHi < f.Hi {
+			emit("aggmax_"+f.Name, fmt.Sprintf("max(%s) <= %d", f.Name, maxHi))
+		}
+		if minLo > f.Lo {
+			emit("aggmin_"+f.Name, fmt.Sprintf("min(%s) >= %d", f.Name, minLo))
+		}
+	}
+}
+
+// mineSums emits exact conservation rules sumTerm == scalarTerm when the
+// equality holds on every record (the paper's R2).
+func mineSums(terms []term, vals [][]int64, emit func(string, string)) {
+	for i, a := range terms {
+		if !strings.HasPrefix(a.name, "sum_") {
+			continue
+		}
+		for j, bj := range terms {
+			if i == j || strings.HasPrefix(bj.name, "sum_") || strings.Contains(bj.ref, "[") {
+				continue
+			}
+			exact := true
+			for r := range vals[i] {
+				if vals[i][r] != vals[j][r] {
+					exact = false
+					break
+				}
+			}
+			if exact {
+				emit(fmt.Sprintf("conserve_%s_%s", a.name, bj.name),
+					fmt.Sprintf("%s == %s", a.ref, bj.ref))
+			}
+		}
+	}
+}
+
+// mineSmoothness emits adjacent-difference bounds over vector fields.
+func mineSmoothness(vectors []rules.Field, recs []rules.Record, cfg Config, emit func(string, string)) {
+	for _, f := range vectors {
+		if f.Len < 2 {
+			continue
+		}
+		var maxJump int64
+		for _, rec := range recs {
+			vs := rec[f.Name]
+			for t := 0; t+1 < len(vs); t++ {
+				d := vs[t+1] - vs[t]
+				if d < 0 {
+					d = -d
+				}
+				if d > maxJump {
+					maxJump = d
+				}
+			}
+		}
+		maxJump += cfg.Slack
+		if maxJump < f.Hi-f.Lo { // non-vacuous
+			emit("smooth_"+f.Name, fmt.Sprintf(
+				"forall t in 0..%d: %s[t+1] - %s[t] <= %d and %s[t] - %s[t+1] <= %d",
+				f.Len-2, f.Name, f.Name, maxJump, f.Name, f.Name, maxJump))
+		}
+	}
+}
+
+// mineCounts emits burst-count rules: for each vector field and a small set
+// of thresholds (fractions of the domain top), the observed range of
+// count(V ≥ θ) — e.g. "at most 2 sub-intervals per window reach half the
+// bandwidth". These use the DSL's count aggregate (the temporal/counting
+// rule class the paper's §5 calls for).
+func mineCounts(vectors []rules.Field, recs []rules.Record, cfg Config, emit func(string, string)) {
+	for _, f := range vectors {
+		span := f.Hi - f.Lo
+		for _, num := range []int64{2, 3} { // θ at 1/2 and 3/4 of the domain top
+			theta := f.Lo + span*num/4
+			if theta <= f.Lo {
+				continue
+			}
+			minC, maxC := int64(f.Len), int64(0)
+			for _, rec := range recs {
+				var n int64
+				for _, v := range rec[f.Name] {
+					if v >= theta {
+						n++
+					}
+				}
+				if n < minC {
+					minC = n
+				}
+				if n > maxC {
+					maxC = n
+				}
+			}
+			maxC += cfg.Slack
+			if maxC > int64(f.Len) {
+				maxC = int64(f.Len)
+			}
+			minC -= cfg.Slack
+			if minC < 0 {
+				minC = 0
+			}
+			var parts []string
+			if maxC < int64(f.Len) {
+				parts = append(parts, fmt.Sprintf("count(%s >= %d) <= %d", f.Name, theta, maxC))
+			}
+			if minC > 0 {
+				parts = append(parts, fmt.Sprintf("count(%s >= %d) >= %d", f.Name, theta, minC))
+			}
+			if len(parts) > 0 {
+				emit(fmt.Sprintf("count_%s_ge%d", f.Name, theta), strings.Join(parts, " and "))
+			}
+		}
+	}
+}
+
+// minePairwise emits A ≤ k·B + c with the smallest consistent c, for every
+// ordered term pair and coefficient, pruning vacuous instances.
+func minePairwise(terms []term, vals [][]int64, cfg Config, emit func(string, string)) {
+	for i, a := range terms {
+		for j, bj := range terms {
+			if i == j {
+				continue
+			}
+			for _, k := range cfg.Coeffs {
+				// c = max over records of a − k·b.
+				c := vals[i][0] - k*vals[j][0]
+				for r := range vals[i] {
+					if d := vals[i][r] - k*vals[j][r]; d > c {
+						c = d
+					}
+				}
+				c += cfg.Slack
+				// Vacuous when implied by domains: max(a) − k·min(b) ≤ c.
+				if a.hi-k*bj.lo <= c {
+					continue
+				}
+				var rhs string
+				if k == 1 {
+					rhs = bj.ref
+				} else {
+					rhs = fmt.Sprintf("%d*%s", k, bj.ref)
+				}
+				if c != 0 {
+					if c > 0 {
+						rhs += fmt.Sprintf(" + %d", c)
+					} else {
+						rhs += fmt.Sprintf(" - %d", -c)
+					}
+				}
+				emit(fmt.Sprintf("pw_%s_le_%d%s", a.name, k, bj.name),
+					fmt.Sprintf("%s <= %s", a.ref, rhs))
+			}
+		}
+	}
+}
+
+// mineImplications emits (A > θ) ⟹ (B ≥ m) rules at 100% confidence.
+// Thresholds θ are 0 and the corpus median of A; the consequent bound m is
+// the minimum of B over records satisfying the antecedent, kept only when it
+// strictly exceeds B's unconditional minimum (i.e. the implication carries
+// information).
+func mineImplications(terms []term, vals [][]int64, cfg Config, emit func(string, string)) {
+	n := len(vals[0])
+	for i, a := range terms {
+		thetas := []int64{0}
+		if med := median(vals[i]); med > 0 {
+			thetas = append(thetas, med)
+		}
+		for _, theta := range thetas {
+			// Support.
+			support := 0
+			for r := 0; r < n; r++ {
+				if vals[i][r] > theta {
+					support++
+				}
+			}
+			if support < cfg.MinSupport || support == n {
+				continue
+			}
+			for j, bj := range terms {
+				if i == j {
+					continue
+				}
+				// Unconditional and conditional minima of B.
+				uncond, cond := vals[j][0], int64(1<<62)
+				for r := 0; r < n; r++ {
+					if vals[j][r] < uncond {
+						uncond = vals[j][r]
+					}
+					if vals[i][r] > theta && vals[j][r] < cond {
+						cond = vals[j][r]
+					}
+				}
+				m := cond - cfg.Slack
+				if m <= uncond || m <= bj.lo {
+					continue // carries no information beyond bounds
+				}
+				emit(fmt.Sprintf("imp_%s_gt%d_%s", a.name, theta, bj.name),
+					fmt.Sprintf("%s > %d -> %s >= %d", a.ref, theta, bj.ref, m))
+			}
+		}
+	}
+}
+
+// mineAggImplications emits the R3-class rules: (A > θ) ⟹ max(V) ≥ m and
+// (A > θ) ⟹ min(V) ≤ m', where the burst witness may occur at any position
+// — the disjunctive structure that static per-element mining cannot express
+// (and that constrained decoding cannot enforce without a solver, §2.2).
+func mineAggImplications(terms []term, vals [][]int64, vectors []rules.Field, recs []rules.Record, cfg Config, emit func(string, string)) {
+	n := len(recs)
+	for _, f := range vectors {
+		// Per-record max/min of the vector.
+		maxs := make([]int64, n)
+		mins := make([]int64, n)
+		for r, rec := range recs {
+			vs := rec[f.Name]
+			mx, mn := vs[0], vs[0]
+			for _, v := range vs[1:] {
+				if v > mx {
+					mx = v
+				}
+				if v < mn {
+					mn = v
+				}
+			}
+			maxs[r], mins[r] = mx, mn
+		}
+		for i, a := range terms {
+			if strings.HasPrefix(a.name, f.Name+"_") || a.name == "sum_"+f.Name {
+				continue // don't condition the vector on itself
+			}
+			thetas := []int64{0}
+			if med := median(vals[i]); med > 0 {
+				thetas = append(thetas, med)
+			}
+			for _, theta := range thetas {
+				support := 0
+				for r := 0; r < n; r++ {
+					if vals[i][r] > theta {
+						support++
+					}
+				}
+				if support < cfg.MinSupport || support == n {
+					continue
+				}
+				// Conditional and unconditional extremes.
+				condMax, uncondMax := int64(1<<62), int64(1<<62)
+				for r := 0; r < n; r++ {
+					if maxs[r] < uncondMax {
+						uncondMax = maxs[r]
+					}
+					if vals[i][r] > theta && maxs[r] < condMax {
+						condMax = maxs[r]
+					}
+				}
+				if m := condMax - cfg.Slack; m > uncondMax && m > f.Lo {
+					emit(fmt.Sprintf("impmax_%s_gt%d_%s", a.name, theta, f.Name),
+						fmt.Sprintf("%s > %d -> max(%s) >= %d", a.ref, theta, f.Name, m))
+				}
+				condMin, uncondMin := int64(-1<<62), int64(-1<<62)
+				for r := 0; r < n; r++ {
+					if mins[r] > uncondMin {
+						uncondMin = mins[r]
+					}
+					if vals[i][r] > theta && mins[r] > condMin {
+						condMin = mins[r]
+					}
+				}
+				if m := condMin + cfg.Slack; m < uncondMin && m < f.Hi {
+					emit(fmt.Sprintf("impmin_%s_gt%d_%s", a.name, theta, f.Name),
+						fmt.Sprintf("%s > %d -> min(%s) <= %d", a.ref, theta, f.Name, m))
+				}
+			}
+		}
+	}
+}
+
+func median(xs []int64) int64 {
+	s := append([]int64(nil), xs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2]
+}

@@ -1,0 +1,360 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// PadToken is the target id excluded from the loss (matches vocab.PAD).
+const PadToken = 0
+
+// layerCache stores one block's forward activations for backprop.
+type layerCache struct {
+	xIn     *tensor.Mat // block input [T,D]
+	ln1Mean []float32
+	ln1Inv  []float32
+	ln1Out  *tensor.Mat
+	q, k, v *tensor.Mat
+	probs   [][][]float32 // [head][i][j≤i] attention weights
+	attnCat *tensor.Mat
+	x1      *tensor.Mat // after attention residual
+	ln2Mean []float32
+	ln2Inv  []float32
+	ln2Out  *tensor.Mat
+	h1      *tensor.Mat // MLP pre-GELU [T,F]
+	h1g     *tensor.Mat // MLP post-GELU [T,F]
+}
+
+// fwdCache stores the full forward pass of one sequence.
+type fwdCache struct {
+	T       int
+	inputs  []int
+	layers  []layerCache
+	xFinal  *tensor.Mat
+	lnfMean []float32
+	lnfInv  []float32
+	lnfOut  *tensor.Mat
+	logits  *tensor.Mat // [T,V]
+}
+
+// forward runs the model over inputs (length T ≤ Ctx) and returns the cache.
+func (m *Model) forward(inputs []int) (*fwdCache, error) {
+	T := len(inputs)
+	if T == 0 {
+		return nil, fmt.Errorf("nn: empty input")
+	}
+	if T > m.Cfg.Ctx {
+		return nil, fmt.Errorf("nn: sequence length %d exceeds context %d", T, m.Cfg.Ctx)
+	}
+	d := m.Cfg.Dim
+	f := m.Cfg.ff() * d
+	h := m.Cfg.Heads
+	dh := d / h
+	scale := float32(1 / math.Sqrt(float64(dh)))
+
+	c := &fwdCache{T: T, inputs: append([]int(nil), inputs...)}
+	x := tensor.NewMat(T, d)
+	for t, tok := range inputs {
+		if tok < 0 || tok >= m.Cfg.Vocab {
+			return nil, fmt.Errorf("nn: token %d outside vocab %d", tok, m.Cfg.Vocab)
+		}
+		row := x.Row(t)
+		copy(row, m.tok.W[tok*d:(tok+1)*d])
+		pos := m.pos.W[t*d : (t+1)*d]
+		for j := range row {
+			row[j] += pos[j]
+		}
+	}
+
+	c.layers = make([]layerCache, m.Cfg.Layers)
+	for l := range m.layers {
+		ly := &m.layers[l]
+		lc := &c.layers[l]
+		lc.xIn = x.Clone()
+
+		// LN1
+		lc.ln1Out = tensor.NewMat(T, d)
+		lc.ln1Mean = make([]float32, T)
+		lc.ln1Inv = make([]float32, T)
+		for t := 0; t < T; t++ {
+			lc.ln1Mean[t], lc.ln1Inv[t] = tensor.LayerNormRow(lc.ln1Out.Row(t), lc.xIn.Row(t), ly.ln1g.W, ly.ln1b.W)
+		}
+
+		// Q, K, V projections.
+		lc.q = linear(lc.ln1Out, ly.wq, ly.bq, d, d)
+		lc.k = linear(lc.ln1Out, ly.wk, ly.bk, d, d)
+		lc.v = linear(lc.ln1Out, ly.wv, ly.bv, d, d)
+
+		// Causal multi-head attention.
+		lc.attnCat = tensor.NewMat(T, d)
+		lc.probs = make([][][]float32, h)
+		for hd := 0; hd < h; hd++ {
+			off := hd * dh
+			lc.probs[hd] = make([][]float32, T)
+			for i := 0; i < T; i++ {
+				qi := lc.q.Row(i)[off : off+dh]
+				p := make([]float32, i+1)
+				for j := 0; j <= i; j++ {
+					p[j] = tensor.Dot(qi, lc.k.Row(j)[off:off+dh]) * scale
+				}
+				tensor.SoftmaxRow(p)
+				lc.probs[hd][i] = p
+				out := lc.attnCat.Row(i)[off : off+dh]
+				for j := 0; j <= i; j++ {
+					tensor.Axpy(out, p[j], lc.v.Row(j)[off:off+dh])
+				}
+			}
+		}
+
+		// Output projection + residual.
+		proj := linear(lc.attnCat, ly.wo, ly.bo, d, d)
+		lc.x1 = lc.xIn.Clone()
+		for i := range lc.x1.W {
+			lc.x1.W[i] += proj.W[i]
+		}
+
+		// LN2 + MLP + residual.
+		lc.ln2Out = tensor.NewMat(T, d)
+		lc.ln2Mean = make([]float32, T)
+		lc.ln2Inv = make([]float32, T)
+		for t := 0; t < T; t++ {
+			lc.ln2Mean[t], lc.ln2Inv[t] = tensor.LayerNormRow(lc.ln2Out.Row(t), lc.x1.Row(t), ly.ln2g.W, ly.ln2b.W)
+		}
+		lc.h1 = linear(lc.ln2Out, ly.w1, ly.b1, d, f)
+		lc.h1g = tensor.NewMat(T, f)
+		tensor.GELU(lc.h1g.W, lc.h1.W)
+		mlpOut := linear(lc.h1g, ly.w2, ly.b2, f, d)
+		x = lc.x1.Clone()
+		for i := range x.W {
+			x.W[i] += mlpOut.W[i]
+		}
+	}
+
+	c.xFinal = x
+	c.lnfOut = tensor.NewMat(T, d)
+	c.lnfMean = make([]float32, T)
+	c.lnfInv = make([]float32, T)
+	for t := 0; t < T; t++ {
+		c.lnfMean[t], c.lnfInv[t] = tensor.LayerNormRow(c.lnfOut.Row(t), x.Row(t), m.lnfg.W, m.lnfb.W)
+	}
+
+	// Tied LM head: logits = lnfOut · tokᵀ.
+	c.logits = tensor.NewMat(T, m.Cfg.Vocab)
+	tokMat := tensor.FromSlice(m.Cfg.Vocab, d, m.tok.W)
+	tensor.MatMulAddTransB(c.logits, c.lnfOut, tokMat)
+	return c, nil
+}
+
+// linear computes x·W + b for W stored [in, out].
+func linear(x *tensor.Mat, w, b *Param, in, out int) *tensor.Mat {
+	y := tensor.NewMat(x.R, out)
+	tensor.MatMul(y, x, tensor.FromSlice(in, out, w.W))
+	tensor.AddRow(y, b.W)
+	return y
+}
+
+// Loss computes the mean next-token cross-entropy of seq (inputs seq[:len-1],
+// targets seq[1:]); targets equal to PadToken are excluded.
+func (m *Model) Loss(seq []int) (float64, error) {
+	if len(seq) < 2 {
+		return 0, fmt.Errorf("nn: sequence too short (%d)", len(seq))
+	}
+	c, err := m.forward(seq[:len(seq)-1])
+	if err != nil {
+		return 0, err
+	}
+	loss, _ := ceLoss(c, seq[1:])
+	return loss, nil
+}
+
+// ceLoss computes the mean cross-entropy over valid targets and the count.
+func ceLoss(c *fwdCache, targets []int) (float64, int) {
+	var loss float64
+	n := 0
+	for t := 0; t < c.T; t++ {
+		if targets[t] == PadToken {
+			continue
+		}
+		row := c.logits.Row(t)
+		loss += -logSoftmaxAt(row, targets[t])
+		n++
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return loss / float64(n), n
+}
+
+// logSoftmaxAt returns log softmax(row)[idx], numerically stable.
+func logSoftmaxAt(row []float32, idx int) float64 {
+	maxV := row[0]
+	for _, v := range row[1:] {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var sum float64
+	for _, v := range row {
+		sum += math.Exp(float64(v - maxV))
+	}
+	return float64(row[idx]-maxV) - math.Log(sum)
+}
+
+// backward computes gradients of the mean cross-entropy loss for one
+// sequence, accumulating into g. Returns the loss.
+func (m *Model) backward(seq []int, g *grads) (float64, error) {
+	if len(seq) < 2 {
+		return 0, fmt.Errorf("nn: sequence too short (%d)", len(seq))
+	}
+	inputs, targets := seq[:len(seq)-1], seq[1:]
+	c, err := m.forward(inputs)
+	if err != nil {
+		return 0, err
+	}
+	loss, nValid := ceLoss(c, targets)
+	if nValid == 0 {
+		return 0, nil
+	}
+
+	T := c.T
+	d := m.Cfg.Dim
+	f := m.Cfg.ff() * d
+	h := m.Cfg.Heads
+	dh := d / h
+	scale := float32(1 / math.Sqrt(float64(dh)))
+	V := m.Cfg.Vocab
+
+	// dlogits = (softmax − onehot)/nValid on valid rows.
+	dlogits := tensor.NewMat(T, V)
+	for t := 0; t < T; t++ {
+		if targets[t] == PadToken {
+			continue
+		}
+		src := c.logits.Row(t)
+		dst := dlogits.Row(t)
+		copy(dst, src)
+		tensor.SoftmaxRow(dst)
+		dst[targets[t]] -= 1
+		tensor.Scale(dst, 1/float32(nValid))
+	}
+
+	dTok := m.gradFor(g, m.tok)
+	dPos := m.gradFor(g, m.pos)
+
+	// Tied head backward: logits = lnfOut·tokᵀ
+	//   dlnfOut = dlogits·tok ; dtok += dlogitsᵀ·lnfOut
+	dLnfOut := tensor.NewMat(T, d)
+	tokMat := tensor.FromSlice(V, d, m.tok.W)
+	tensor.MatMul(dLnfOut, dlogits, tokMat)
+	tensor.MatMulAddTransA(tensor.FromSlice(V, d, dTok), dlogits, c.lnfOut)
+
+	// Final LayerNorm backward.
+	dx := tensor.NewMat(T, d)
+	dlnfg := m.gradFor(g, m.lnfg)
+	dlnfb := m.gradFor(g, m.lnfb)
+	for t := 0; t < T; t++ {
+		tensor.LayerNormBackwardRow(dx.Row(t), dLnfOut.Row(t), c.xFinal.Row(t), c.lnfMean[t], c.lnfInv[t], m.lnfg.W, dlnfg, dlnfb)
+	}
+
+	// Blocks in reverse.
+	for l := m.Cfg.Layers - 1; l >= 0; l-- {
+		ly := &m.layers[l]
+		lc := &c.layers[l]
+
+		// ---- MLP half: x2 = x1 + (gelu(ln2Out·W1+b1))·W2+b2
+		dMlpOut := dx // alias: residual passes dx through to both paths
+		dH1g := tensor.NewMat(T, f)
+		tensor.MatMulAddTransB(dH1g, dMlpOut, tensor.FromSlice(f, d, ly.w2.W))
+		tensor.MatMulAddTransA(tensor.FromSlice(f, d, m.gradFor(g, ly.w2)), lc.h1g, dMlpOut)
+		tensor.SumRowsInto(m.gradFor(g, ly.b2), dMlpOut)
+
+		dH1 := tensor.NewMat(T, f)
+		tensor.GELUBackward(dH1.W, dH1g.W, lc.h1.W)
+
+		dLn2Out := tensor.NewMat(T, d)
+		tensor.MatMulAddTransB(dLn2Out, dH1, tensor.FromSlice(d, f, ly.w1.W))
+		tensor.MatMulAddTransA(tensor.FromSlice(d, f, m.gradFor(g, ly.w1)), lc.ln2Out, dH1)
+		tensor.SumRowsInto(m.gradFor(g, ly.b1), dH1)
+
+		dx1 := dx.Clone() // residual branch
+		dln2g := m.gradFor(g, ly.ln2g)
+		dln2b := m.gradFor(g, ly.ln2b)
+		tmp := make([]float32, d)
+		for t := 0; t < T; t++ {
+			tensor.LayerNormBackwardRow(tmp, dLn2Out.Row(t), lc.x1.Row(t), lc.ln2Mean[t], lc.ln2Inv[t], ly.ln2g.W, dln2g, dln2b)
+			row := dx1.Row(t)
+			for j := range row {
+				row[j] += tmp[j]
+			}
+		}
+
+		// ---- Attention half: x1 = xIn + (attnCat·Wo+bo)
+		dProj := dx1
+		dAttnCat := tensor.NewMat(T, d)
+		tensor.MatMulAddTransB(dAttnCat, dProj, tensor.FromSlice(d, d, ly.wo.W))
+		tensor.MatMulAddTransA(tensor.FromSlice(d, d, m.gradFor(g, ly.wo)), lc.attnCat, dProj)
+		tensor.SumRowsInto(m.gradFor(g, ly.bo), dProj)
+
+		dQ := tensor.NewMat(T, d)
+		dK := tensor.NewMat(T, d)
+		dV := tensor.NewMat(T, d)
+		for hd := 0; hd < h; hd++ {
+			off := hd * dh
+			for i := 0; i < T; i++ {
+				p := lc.probs[hd][i]
+				dOut := dAttnCat.Row(i)[off : off+dh]
+				dp := make([]float32, i+1)
+				for j := 0; j <= i; j++ {
+					dp[j] = tensor.Dot(dOut, lc.v.Row(j)[off:off+dh])
+					tensor.Axpy(dV.Row(j)[off:off+dh], p[j], dOut)
+				}
+				ds := make([]float32, i+1)
+				tensor.SoftmaxBackwardRow(ds, dp, p)
+				qi := lc.q.Row(i)[off : off+dh]
+				dqi := dQ.Row(i)[off : off+dh]
+				for j := 0; j <= i; j++ {
+					tensor.Axpy(dqi, ds[j]*scale, lc.k.Row(j)[off:off+dh])
+					tensor.Axpy(dK.Row(j)[off:off+dh], ds[j]*scale, qi)
+				}
+			}
+		}
+
+		// Back through Q/K/V projections into LN1 output.
+		dLn1Out := tensor.NewMat(T, d)
+		backLinear(dLn1Out, dQ, lc.ln1Out, ly.wq, d, d, m, g, ly.bq)
+		backLinear(dLn1Out, dK, lc.ln1Out, ly.wk, d, d, m, g, ly.bk)
+		backLinear(dLn1Out, dV, lc.ln1Out, ly.wv, d, d, m, g, ly.bv)
+
+		// LN1 backward into the block input, plus the residual branch.
+		dxIn := dx1.Clone()
+		dln1g := m.gradFor(g, ly.ln1g)
+		dln1b := m.gradFor(g, ly.ln1b)
+		for t := 0; t < T; t++ {
+			tensor.LayerNormBackwardRow(tmp, dLn1Out.Row(t), lc.xIn.Row(t), lc.ln1Mean[t], lc.ln1Inv[t], ly.ln1g.W, dln1g, dln1b)
+			row := dxIn.Row(t)
+			for j := range row {
+				row[j] += tmp[j]
+			}
+		}
+		dx = dxIn
+	}
+
+	// Embedding gradients.
+	for t := 0; t < T; t++ {
+		row := dx.Row(t)
+		tok := inputs[t]
+		tensor.Axpy(dTok[tok*d:(tok+1)*d], 1, row)
+		tensor.Axpy(dPos[t*d:(t+1)*d], 1, row)
+	}
+	return loss, nil
+}
+
+// backLinear accumulates gradients for y = x·W + b:
+// dxAcc += dy·Wᵀ, dW += xᵀ·dy, db += Σrows dy.
+func backLinear(dxAcc, dy, x *tensor.Mat, w *Param, in, out int, m *Model, g *grads, b *Param) {
+	tensor.MatMulAddTransB(dxAcc, dy, tensor.FromSlice(in, out, w.W))
+	tensor.MatMulAddTransA(tensor.FromSlice(in, out, m.gradFor(g, w)), x, dy)
+	tensor.SumRowsInto(m.gradFor(g, b), dy)
+}

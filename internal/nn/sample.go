@@ -1,0 +1,157 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Session is an incremental decoding session with a per-layer KV cache.
+// Feed tokens with Append; after each Append, Logits returns the next-token
+// distribution's logits. Sessions are cheap to create (one per generated
+// record) and not safe for concurrent use.
+type Session struct {
+	m   *Model
+	pos int
+	// per-layer key/value caches, [Ctx, D] each, filled up to pos.
+	ks, vs []*tensor.Mat
+	logits []float32
+}
+
+// NewSession starts an empty decoding session.
+func (m *Model) NewSession() *Session {
+	s := &Session{m: m, logits: make([]float32, m.Cfg.Vocab)}
+	s.ks = make([]*tensor.Mat, m.Cfg.Layers)
+	s.vs = make([]*tensor.Mat, m.Cfg.Layers)
+	for l := range s.ks {
+		s.ks[l] = tensor.NewMat(m.Cfg.Ctx, m.Cfg.Dim)
+		s.vs[l] = tensor.NewMat(m.Cfg.Ctx, m.Cfg.Dim)
+	}
+	return s
+}
+
+// Len reports the number of tokens consumed.
+func (s *Session) Len() int { return s.pos }
+
+// Append feeds one token and computes the logits for the following position.
+func (s *Session) Append(tok int) error {
+	m := s.m
+	if tok < 0 || tok >= m.Cfg.Vocab {
+		return fmt.Errorf("nn: token %d outside vocab %d", tok, m.Cfg.Vocab)
+	}
+	if s.pos >= m.Cfg.Ctx {
+		return fmt.Errorf("nn: context length %d exceeded", m.Cfg.Ctx)
+	}
+	d := m.Cfg.Dim
+	f := m.Cfg.ff() * d
+	h := m.Cfg.Heads
+	dh := d / h
+	scale := float32(1 / math.Sqrt(float64(dh)))
+	t := s.pos
+
+	x := make([]float32, d)
+	copy(x, m.tok.W[tok*d:(tok+1)*d])
+	pos := m.pos.W[t*d : (t+1)*d]
+	for j := range x {
+		x[j] += pos[j]
+	}
+
+	ln := make([]float32, d)
+	q := make([]float32, d)
+	attn := make([]float32, d)
+	hbuf := make([]float32, f)
+	hg := make([]float32, f)
+	for l := range m.layers {
+		ly := &m.layers[l]
+		tensor.LayerNormRow(ln, x, ly.ln1g.W, ly.ln1b.W)
+
+		// Project q for this token; write k/v straight into the cache.
+		krow := s.ks[l].Row(t)
+		vrow := s.vs[l].Row(t)
+		vecLinear(q, ln, ly.wq.W, ly.bq.W, d, d)
+		vecLinear(krow, ln, ly.wk.W, ly.bk.W, d, d)
+		vecLinear(vrow, ln, ly.wv.W, ly.bv.W, d, d)
+
+		// Attend over the cache (positions 0..t).
+		for i := range attn {
+			attn[i] = 0
+		}
+		for hd := 0; hd < h; hd++ {
+			off := hd * dh
+			qh := q[off : off+dh]
+			p := make([]float32, t+1)
+			for j := 0; j <= t; j++ {
+				p[j] = tensor.Dot(qh, s.ks[l].Row(j)[off:off+dh]) * scale
+			}
+			tensor.SoftmaxRow(p)
+			out := attn[off : off+dh]
+			for j := 0; j <= t; j++ {
+				tensor.Axpy(out, p[j], s.vs[l].Row(j)[off:off+dh])
+			}
+		}
+
+		proj := make([]float32, d)
+		vecLinear(proj, attn, ly.wo.W, ly.bo.W, d, d)
+		for j := range x {
+			x[j] += proj[j]
+		}
+
+		tensor.LayerNormRow(ln, x, ly.ln2g.W, ly.ln2b.W)
+		vecLinear(hbuf, ln, ly.w1.W, ly.b1.W, d, f)
+		tensor.GELU(hg, hbuf)
+		mlp := make([]float32, d)
+		vecLinear(mlp, hg, ly.w2.W, ly.b2.W, f, d)
+		for j := range x {
+			x[j] += mlp[j]
+		}
+	}
+
+	tensor.LayerNormRow(ln, x, m.lnfg.W, m.lnfb.W)
+	// Tied head: logits[v] = ⟨ln, tok_v⟩.
+	for v := 0; v < m.Cfg.Vocab; v++ {
+		s.logits[v] = tensor.Dot(ln, m.tok.W[v*d:(v+1)*d])
+	}
+	s.pos++
+	return nil
+}
+
+// Logits returns the next-token logits after the last Append. The returned
+// slice is owned by the session and overwritten by the next Append; callers
+// that mask it in place (LeJIT does) should copy first if they need the raw
+// values later.
+func (s *Session) Logits() []float32 {
+	if s.pos == 0 {
+		panic("nn: Logits before any Append")
+	}
+	return s.logits
+}
+
+// Clone returns an independent copy of the session: same consumed prefix,
+// same pending logits, separate KV cache. Used by beam-search decoding,
+// where beams share a prefix and then diverge.
+func (s *Session) Clone() *Session {
+	c := &Session{m: s.m, pos: s.pos, logits: append([]float32(nil), s.logits...)}
+	c.ks = make([]*tensor.Mat, len(s.ks))
+	c.vs = make([]*tensor.Mat, len(s.vs))
+	for l := range s.ks {
+		c.ks[l] = s.ks[l].Clone()
+		c.vs[l] = s.vs[l].Clone()
+	}
+	return c
+}
+
+// vecLinear computes y = x·W + b for a single row x (len in), W [in, out].
+func vecLinear(y, x, w, b []float32, in, out int) {
+	copy(y, b[:out])
+	for p := 0; p < in; p++ {
+		xv := x[p]
+		if xv == 0 {
+			continue
+		}
+		row := w[p*out : (p+1)*out]
+		for j := 0; j < out; j++ {
+			y[j] += xv * row[j]
+		}
+	}
+}

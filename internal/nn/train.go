@@ -1,0 +1,217 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// TrainConfig controls Train.
+type TrainConfig struct {
+	LR          float64 // peak learning rate (0 → 3e-3)
+	Batch       int     // sequences per optimizer step (0 → 16)
+	Epochs      int     // passes over the corpus (0 → 1)
+	ClipNorm    float64 // global gradient-norm clip (0 → 1.0)
+	Warmup      int     // warmup steps (0 → 20)
+	Seed        int64   // shuffling seed
+	Workers     int     // parallel gradient workers (0 → GOMAXPROCS)
+	LogEvery    int     // steps between Logf calls (0 → never)
+	Logf        func(format string, args ...any)
+	WeightDecay float64 // decoupled weight decay (AdamW style; 0 → none)
+}
+
+func (tc *TrainConfig) fill() {
+	if tc.LR == 0 {
+		tc.LR = 3e-3
+	}
+	if tc.Batch == 0 {
+		tc.Batch = 16
+	}
+	if tc.Epochs == 0 {
+		tc.Epochs = 1
+	}
+	if tc.ClipNorm == 0 {
+		tc.ClipNorm = 1.0
+	}
+	if tc.Warmup == 0 {
+		tc.Warmup = 20
+	}
+	if tc.Workers == 0 {
+		tc.Workers = runtime.GOMAXPROCS(0)
+	}
+}
+
+// Train optimizes the model on the token sequences with Adam, returning the
+// per-step mean training loss. Each sequence must have length ≥ 2 and at
+// most Ctx+1 (inputs are seq[:len-1]).
+func (m *Model) Train(seqs [][]int, tc TrainConfig) ([]float64, error) {
+	tc.fill()
+	if len(seqs) == 0 {
+		return nil, fmt.Errorf("nn: no training sequences")
+	}
+	for i, s := range seqs {
+		if len(s) < 2 {
+			return nil, fmt.Errorf("nn: sequence %d too short", i)
+		}
+		if len(s)-1 > m.Cfg.Ctx {
+			return nil, fmt.Errorf("nn: sequence %d length %d exceeds context %d", i, len(s)-1, m.Cfg.Ctx)
+		}
+	}
+	rng := rand.New(rand.NewSource(tc.Seed))
+	order := make([]int, len(seqs))
+	for i := range order {
+		order[i] = i
+	}
+
+	nWorkers := tc.Workers
+	workerGrads := make([]*grads, nWorkers)
+	for i := range workerGrads {
+		workerGrads[i] = m.newGrads()
+	}
+	total := m.newGrads()
+
+	totalSteps := tc.Epochs * ((len(seqs) + tc.Batch - 1) / tc.Batch)
+	var history []float64
+	step := 0
+	for epoch := 0; epoch < tc.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for start := 0; start < len(order); start += tc.Batch {
+			end := start + tc.Batch
+			if end > len(order) {
+				end = len(order)
+			}
+			batch := order[start:end]
+
+			total.zero()
+			var mu sync.Mutex
+			var batchLoss float64
+			var batchErr error
+			var wg sync.WaitGroup
+			chunk := (len(batch) + nWorkers - 1) / nWorkers
+			for w := 0; w < nWorkers; w++ {
+				lo := w * chunk
+				if lo >= len(batch) {
+					break
+				}
+				hi := lo + chunk
+				if hi > len(batch) {
+					hi = len(batch)
+				}
+				wg.Add(1)
+				go func(w, lo, hi int) {
+					defer wg.Done()
+					g := workerGrads[w]
+					g.zero()
+					var local float64
+					for _, idx := range batch[lo:hi] {
+						loss, err := m.backward(seqs[idx], g)
+						if err != nil {
+							mu.Lock()
+							if batchErr == nil {
+								batchErr = err
+							}
+							mu.Unlock()
+							return
+						}
+						local += loss
+					}
+					mu.Lock()
+					batchLoss += local
+					total.add(g)
+					mu.Unlock()
+				}(w, lo, hi)
+			}
+			wg.Wait()
+			if batchErr != nil {
+				return history, batchErr
+			}
+
+			// Average gradients over the batch.
+			inv := float32(1 / float64(len(batch)))
+			for _, buf := range total.g {
+				for i := range buf {
+					buf[i] *= inv
+				}
+			}
+
+			lr := lrAt(tc, step, totalSteps)
+			m.adamStep(total, lr, tc.ClipNorm, tc.WeightDecay)
+			step++
+			history = append(history, batchLoss/float64(len(batch)))
+			if tc.LogEvery > 0 && tc.Logf != nil && step%tc.LogEvery == 0 {
+				tc.Logf("nn: step %d/%d epoch %d loss %.4f lr %.2e", step, totalSteps, epoch, history[len(history)-1], lr)
+			}
+		}
+	}
+	return history, nil
+}
+
+// lrAt implements linear warmup followed by cosine decay to 10% of peak.
+func lrAt(tc TrainConfig, step, total int) float64 {
+	if step < tc.Warmup {
+		return tc.LR * float64(step+1) / float64(tc.Warmup)
+	}
+	if total <= tc.Warmup {
+		return tc.LR
+	}
+	prog := float64(step-tc.Warmup) / float64(total-tc.Warmup)
+	if prog > 1 {
+		prog = 1
+	}
+	minLR := tc.LR * 0.1
+	return minLR + (tc.LR-minLR)*0.5*(1+math.Cos(math.Pi*prog))
+}
+
+// adamStep applies one Adam update with global-norm clipping.
+func (m *Model) adamStep(g *grads, lr, clipNorm, weightDecay float64) {
+	// Global norm.
+	var norm float64
+	for _, buf := range g.g {
+		for _, v := range buf {
+			norm += float64(v) * float64(v)
+		}
+	}
+	norm = math.Sqrt(norm)
+	scale := 1.0
+	if clipNorm > 0 && norm > clipNorm {
+		scale = clipNorm / norm
+	}
+
+	m.step++
+	const beta1, beta2, eps = 0.9, 0.999, 1e-8
+	bc1 := 1 - math.Pow(beta1, float64(m.step))
+	bc2 := 1 - math.Pow(beta2, float64(m.step))
+	for pi, p := range m.params {
+		buf := g.g[pi]
+		for i := range p.W {
+			gv := float64(buf[i]) * scale
+			mo := beta1*float64(p.M[i]) + (1-beta1)*gv
+			vo := beta2*float64(p.V[i]) + (1-beta2)*gv*gv
+			p.M[i] = float32(mo)
+			p.V[i] = float32(vo)
+			upd := lr * (mo / bc1) / (math.Sqrt(vo/bc2) + eps)
+			if weightDecay > 0 {
+				upd += lr * weightDecay * float64(p.W[i])
+			}
+			p.W[i] -= float32(upd)
+		}
+	}
+}
+
+// EvalLoss computes the mean per-sequence loss over a held-out set.
+func (m *Model) EvalLoss(seqs [][]int) (float64, error) {
+	if len(seqs) == 0 {
+		return 0, fmt.Errorf("nn: no sequences")
+	}
+	var total float64
+	for _, s := range seqs {
+		l, err := m.Loss(s)
+		if err != nil {
+			return 0, err
+		}
+		total += l
+	}
+	return total / float64(len(seqs)), nil
+}

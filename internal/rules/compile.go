@@ -1,0 +1,481 @@
+package rules
+
+import (
+	"fmt"
+
+	"repro/internal/smt"
+)
+
+// Binding maps schema fields to the SMT variables representing one record
+// instance. Create one with Instantiate, or assemble manually with Bind.
+type Binding struct {
+	vars map[string][]smt.Var
+}
+
+// NewBinding returns an empty binding.
+func NewBinding() *Binding {
+	return &Binding{vars: map[string][]smt.Var{}}
+}
+
+// Bind associates a field with its per-element solver variables.
+func (b *Binding) Bind(field string, vars []smt.Var) {
+	b.vars[field] = vars
+}
+
+// Vars returns the solver variables of a field.
+func (b *Binding) Vars(field string) ([]smt.Var, bool) {
+	vs, ok := b.vars[field]
+	return vs, ok
+}
+
+// Instantiate declares one solver variable per schema field element, with the
+// field's domain, and returns the binding. Variable names are "Field" for
+// scalars and "Field[i]" for vector elements.
+func Instantiate(s *smt.Solver, schema *Schema) *Binding {
+	b := NewBinding()
+	for _, f := range schema.Fields() {
+		vs := make([]smt.Var, f.Len)
+		for i := range vs {
+			name := f.Name
+			if f.Kind == Vector {
+				name = fmt.Sprintf("%s[%d]", f.Name, i)
+			}
+			vs[i] = s.NewVar(name, f.Lo, f.Hi)
+		}
+		b.Bind(f.Name, vs)
+	}
+	return b
+}
+
+// Compile lowers a rule body to an smt.Formula over the binding's variables.
+func (rs *RuleSet) Compile(r Rule, b *Binding) (smt.Formula, error) {
+	c := &compiler{rs: rs, b: b, env: map[string]int64{}}
+	return c.node(r.Body)
+}
+
+// CompileAll compiles every rule and returns the conjunction. Rule order is
+// preserved; the first compile error aborts.
+func (rs *RuleSet) CompileAll(b *Binding) (smt.Formula, error) {
+	fs := make([]smt.Formula, 0, len(rs.Rules))
+	for _, r := range rs.Rules {
+		f, err := rs.Compile(r, b)
+		if err != nil {
+			return nil, fmt.Errorf("rule %s: %w", r.Name, err)
+		}
+		fs = append(fs, f)
+	}
+	return smt.And(fs...), nil
+}
+
+type compiler struct {
+	rs  *RuleSet
+	b   *Binding
+	env map[string]int64 // quantifier loop variables
+}
+
+func (c *compiler) node(n Node) (smt.Formula, error) {
+	switch g := n.(type) {
+	case *CmpNode:
+		return c.cmp(g)
+	case *AndNode:
+		fs := make([]smt.Formula, len(g.Kids))
+		for i, k := range g.Kids {
+			f, err := c.node(k)
+			if err != nil {
+				return nil, err
+			}
+			fs[i] = f
+		}
+		return smt.And(fs...), nil
+	case *OrNode:
+		fs := make([]smt.Formula, len(g.Kids))
+		for i, k := range g.Kids {
+			f, err := c.node(k)
+			if err != nil {
+				return nil, err
+			}
+			fs[i] = f
+		}
+		return smt.Or(fs...), nil
+	case *NotNode:
+		f, err := c.node(g.Kid)
+		if err != nil {
+			return nil, err
+		}
+		return smt.Not(f), nil
+	case *ImpliesNode:
+		a, err := c.node(g.A)
+		if err != nil {
+			return nil, err
+		}
+		b, err := c.node(g.B)
+		if err != nil {
+			return nil, err
+		}
+		return smt.Implies(a, b), nil
+	case *QuantNode:
+		lo, err := c.constExpr(g.Lo)
+		if err != nil {
+			return nil, fmt.Errorf("quantifier lower bound: %w", err)
+		}
+		hi, err := c.constExpr(g.Hi)
+		if err != nil {
+			return nil, fmt.Errorf("quantifier upper bound: %w", err)
+		}
+		var fs []smt.Formula
+		for t := lo; t <= hi; t++ {
+			c.env[g.Var] = t
+			f, err := c.node(g.Body)
+			if err != nil {
+				delete(c.env, g.Var)
+				return nil, err
+			}
+			fs = append(fs, f)
+		}
+		delete(c.env, g.Var)
+		if g.Forall {
+			return smt.And(fs...), nil
+		}
+		return smt.Or(fs...), nil
+	}
+	return nil, fmt.Errorf("unknown node %T", n)
+}
+
+// cmp compiles a comparison, expanding max/min/count aggregates per
+// DESIGN.md.
+func (c *compiler) cmp(g *CmpNode) (smt.Formula, error) {
+	lCnt, lIsCnt := g.L.(*CountExpr)
+	rCnt, rIsCnt := g.R.(*CountExpr)
+	l, lAgg := extremeAgg(g.L)
+	r, rAgg := extremeAgg(g.R)
+	switch {
+	case (lAgg || lIsCnt) && (rAgg || rIsCnt):
+		return nil, fmt.Errorf("comparison between two aggregates is not supported")
+	case lIsCnt:
+		return c.expandCount(lCnt, g.Op, g.R)
+	case rIsCnt:
+		return c.expandCount(rCnt, g.Op.flip(), g.L)
+	case lAgg:
+		rhs, err := c.expr(g.R)
+		if err != nil {
+			return nil, err
+		}
+		return c.expandExtreme(l, g.Op, rhs)
+	case rAgg:
+		lhs, err := c.expr(g.L)
+		if err != nil {
+			return nil, err
+		}
+		return c.expandExtreme(r, g.Op.flip(), lhs)
+	}
+	lhs, err := c.expr(g.L)
+	if err != nil {
+		return nil, err
+	}
+	rhs, err := c.expr(g.R)
+	if err != nil {
+		return nil, err
+	}
+	return cmpFormula(g.Op, lhs, rhs), nil
+}
+
+// expandCount compiles count(Field innerOp innerRhs) op k by subset
+// enumeration: "at least k elements satisfy P" becomes a disjunction over
+// the k-subsets of conjunctions of P. The comparison bound k must fold to a
+// constant; the inner threshold may reference other variables. Expansion is
+// exponential in the vector length and guarded accordingly — fine for
+// telemetry-window vectors, wrong tool for length-1000 series.
+func (c *compiler) expandCount(ce *CountExpr, op CmpOp, bound Expr) (smt.Formula, error) {
+	vs, ok := c.b.Vars(ce.Field)
+	if !ok {
+		return nil, fmt.Errorf("field %s not bound", ce.Field)
+	}
+	k, err := c.constExpr(bound)
+	if err != nil {
+		return nil, fmt.Errorf("count comparison bound must be constant: %w", err)
+	}
+	inner, err := c.expr(ce.Rhs)
+	if err != nil {
+		return nil, err
+	}
+	elem := make([]smt.Formula, len(vs))
+	for t, v := range vs {
+		elem[t] = cmpFormula(ce.Op, smt.V(v), inner)
+	}
+	atLeast := func(k int64) (smt.Formula, error) {
+		n := int64(len(elem))
+		if k <= 0 {
+			return smt.True, nil
+		}
+		if k > n {
+			return smt.False, nil
+		}
+		if binomTooBig(len(elem), int(k), 10000) {
+			return nil, fmt.Errorf("count expansion over %d choose %d is too large", n, k)
+		}
+		var alts []smt.Formula
+		subset := make([]int, k)
+		var rec func(start int, depth int64) // enumerate k-subsets
+		rec = func(start int, depth int64) {
+			if depth == k {
+				conj := make([]smt.Formula, k)
+				for i, t := range subset {
+					conj[i] = elem[t]
+				}
+				alts = append(alts, smt.And(conj...))
+				return
+			}
+			for t := start; int64(len(elem))-int64(t) >= k-depth; t++ {
+				subset[depth] = t
+				rec(t+1, depth+1)
+			}
+		}
+		rec(0, 0)
+		return smt.Or(alts...), nil
+	}
+
+	switch op {
+	case CmpGE:
+		return atLeast(k)
+	case CmpGT:
+		return atLeast(k + 1)
+	case CmpLE:
+		f, err := atLeast(k + 1)
+		if err != nil {
+			return nil, err
+		}
+		return smt.Not(f), nil
+	case CmpLT:
+		f, err := atLeast(k)
+		if err != nil {
+			return nil, err
+		}
+		return smt.Not(f), nil
+	case CmpEQ:
+		ge, err := atLeast(k)
+		if err != nil {
+			return nil, err
+		}
+		gt, err := atLeast(k + 1)
+		if err != nil {
+			return nil, err
+		}
+		return smt.And(ge, smt.Not(gt)), nil
+	case CmpNE:
+		eq, err := c.expandCount(ce, CmpEQ, bound)
+		if err != nil {
+			return nil, err
+		}
+		return smt.Not(eq), nil
+	}
+	return nil, fmt.Errorf("bad comparison op")
+}
+
+// binomTooBig reports whether C(n, k) exceeds limit.
+func binomTooBig(n, k, limit int) bool {
+	if k > n-k {
+		k = n - k
+	}
+	c := 1
+	for i := 0; i < k; i++ {
+		c = c * (n - i) / (i + 1)
+		if c > limit {
+			return true
+		}
+	}
+	return false
+}
+
+// extremeAgg reports whether e is a bare max/min aggregate.
+func extremeAgg(e Expr) (*AggRef, bool) {
+	a, ok := e.(*AggRef)
+	if ok && (a.Op == AggMax || a.Op == AggMin) {
+		return a, true
+	}
+	return nil, false
+}
+
+func cmpFormula(op CmpOp, l, r smt.LinExpr) smt.Formula {
+	switch op {
+	case CmpLE:
+		return smt.Le(l, r)
+	case CmpLT:
+		return smt.Lt(l, r)
+	case CmpGE:
+		return smt.Ge(l, r)
+	case CmpGT:
+		return smt.Gt(l, r)
+	case CmpEQ:
+		return smt.Eq(l, r)
+	case CmpNE:
+		return smt.Ne(l, r)
+	}
+	panic("rules: bad CmpOp")
+}
+
+// expandExtreme compiles max(X) op rhs (or min(X) op rhs):
+//
+//	max(X) ≥ e  ⟺  ∃t: X[t] ≥ e          max(X) ≤ e  ⟺  ∀t: X[t] ≤ e
+//	min(X) ≤ e  ⟺  ∃t: X[t] ≤ e          min(X) ≥ e  ⟺  ∀t: X[t] ≥ e
+//	max(X) = e  ⟺  (∀t: X[t] ≤ e) ∧ (∃t: X[t] = e), min symmetric.
+func (c *compiler) expandExtreme(a *AggRef, op CmpOp, rhs smt.LinExpr) (smt.Formula, error) {
+	vs, ok := c.b.Vars(a.Field)
+	if !ok {
+		return nil, fmt.Errorf("field %s not bound", a.Field)
+	}
+	exists := func(op CmpOp) smt.Formula {
+		fs := make([]smt.Formula, len(vs))
+		for i, v := range vs {
+			fs[i] = cmpFormula(op, smt.V(v), rhs)
+		}
+		return smt.Or(fs...)
+	}
+	all := func(op CmpOp) smt.Formula {
+		fs := make([]smt.Formula, len(vs))
+		for i, v := range vs {
+			fs[i] = cmpFormula(op, smt.V(v), rhs)
+		}
+		return smt.And(fs...)
+	}
+	isMax := a.Op == AggMax
+	switch op {
+	case CmpGE:
+		if isMax {
+			return exists(CmpGE), nil
+		}
+		return all(CmpGE), nil
+	case CmpGT:
+		if isMax {
+			return exists(CmpGT), nil
+		}
+		return all(CmpGT), nil
+	case CmpLE:
+		if isMax {
+			return all(CmpLE), nil
+		}
+		return exists(CmpLE), nil
+	case CmpLT:
+		if isMax {
+			return all(CmpLT), nil
+		}
+		return exists(CmpLT), nil
+	case CmpEQ:
+		if isMax {
+			return smt.And(all(CmpLE), exists(CmpEQ)), nil
+		}
+		return smt.And(all(CmpGE), exists(CmpEQ)), nil
+	case CmpNE:
+		f, err := c.expandExtreme(a, CmpEQ, rhs)
+		if err != nil {
+			return nil, err
+		}
+		return smt.Not(f), nil
+	}
+	return nil, fmt.Errorf("bad comparison op")
+}
+
+// expr lowers an arithmetic expression to a linear expression over solver
+// variables. Nonlinear products and non-constant division are rejected.
+func (c *compiler) expr(e Expr) (smt.LinExpr, error) {
+	switch g := e.(type) {
+	case *NumLit:
+		return smt.C(g.V), nil
+	case *VarRef:
+		v, ok := c.env[g.Name]
+		if !ok {
+			return smt.LinExpr{}, fmt.Errorf("loop variable %s out of scope", g.Name)
+		}
+		return smt.C(v), nil
+	case *NegExpr:
+		inner, err := c.expr(g.E)
+		if err != nil {
+			return smt.LinExpr{}, err
+		}
+		return inner.Scale(-1), nil
+	case *FieldRef:
+		vs, ok := c.b.Vars(g.Name)
+		if !ok {
+			return smt.LinExpr{}, fmt.Errorf("field %s not bound", g.Name)
+		}
+		idx := int64(0)
+		if g.Index != nil {
+			var err error
+			idx, err = c.constExpr(g.Index)
+			if err != nil {
+				return smt.LinExpr{}, fmt.Errorf("index of %s: %w", g.Name, err)
+			}
+		}
+		if idx < 0 || idx >= int64(len(vs)) {
+			return smt.LinExpr{}, fmt.Errorf("index %s[%d] out of range [0,%d)", g.Name, idx, len(vs))
+		}
+		return smt.V(vs[idx]), nil
+	case *CountExpr:
+		return smt.LinExpr{}, fmt.Errorf("count(%s ...) is only allowed as a whole comparison side", g.Field)
+	case *AggRef:
+		if g.Op != AggSum {
+			return smt.LinExpr{}, fmt.Errorf("%s(%s) is only allowed as a whole comparison side", g.Op, g.Field)
+		}
+		vs, ok := c.b.Vars(g.Field)
+		if !ok {
+			return smt.LinExpr{}, fmt.Errorf("field %s not bound", g.Field)
+		}
+		var sum smt.LinExpr
+		for _, v := range vs {
+			sum = sum.Add(smt.V(v))
+		}
+		return sum, nil
+	case *BinExpr:
+		l, err := c.expr(g.L)
+		if err != nil {
+			return smt.LinExpr{}, err
+		}
+		r, err := c.expr(g.R)
+		if err != nil {
+			return smt.LinExpr{}, err
+		}
+		switch g.Op {
+		case '+':
+			return l.Add(r), nil
+		case '-':
+			return l.Sub(r), nil
+		case '*':
+			if l.IsConst() {
+				return r.Scale(l.Const()), nil
+			}
+			if r.IsConst() {
+				return l.Scale(r.Const()), nil
+			}
+			return smt.LinExpr{}, fmt.Errorf("nonlinear product %s", ExprString(e))
+		case '/':
+			if !l.IsConst() || !r.IsConst() {
+				return smt.LinExpr{}, fmt.Errorf("division requires constant operands: %s", ExprString(e))
+			}
+			if r.Const() == 0 {
+				return smt.LinExpr{}, fmt.Errorf("division by zero: %s", ExprString(e))
+			}
+			return smt.C(floorDivI(l.Const(), r.Const())), nil
+		}
+	}
+	return smt.LinExpr{}, fmt.Errorf("unknown expression %T", e)
+}
+
+// constExpr evaluates an expression that must be constant under the current
+// quantifier environment (used for indices and quantifier bounds).
+func (c *compiler) constExpr(e Expr) (int64, error) {
+	le, err := c.expr(e)
+	if err != nil {
+		return 0, err
+	}
+	if !le.IsConst() {
+		return 0, fmt.Errorf("expression %s is not constant", ExprString(e))
+	}
+	return le.Const(), nil
+}
+
+func floorDivI(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}

@@ -1,0 +1,266 @@
+package rules
+
+import (
+	"fmt"
+)
+
+// Eval evaluates a rule against a concrete record, returning whether the rule
+// holds. It is the fast path for violation checking (no solver involved) and
+// by construction agrees with the SMT compilation (see TestEvalAgreesWithSMT).
+func (rs *RuleSet) Eval(r Rule, rec Record) (bool, error) {
+	ev := &evaluator{rs: rs, rec: rec, env: map[string]int64{}}
+	return ev.node(r.Body)
+}
+
+// Violations returns the names of all rules in the set that rec violates,
+// in rule order.
+func (rs *RuleSet) Violations(rec Record) ([]string, error) {
+	var out []string
+	for _, r := range rs.Rules {
+		ok, err := rs.Eval(r, rec)
+		if err != nil {
+			return nil, fmt.Errorf("rule %s: %w", r.Name, err)
+		}
+		if !ok {
+			out = append(out, r.Name)
+		}
+	}
+	return out, nil
+}
+
+// ViolationRate evaluates every rule against every record and returns the
+// fraction of (record, rule) pairs that are violated, plus the fraction of
+// records violating at least one rule.
+func (rs *RuleSet) ViolationRate(recs []Record) (pairRate, recordRate float64, err error) {
+	if len(recs) == 0 || len(rs.Rules) == 0 {
+		return 0, 0, nil
+	}
+	var pairViol, recViol int
+	for _, rec := range recs {
+		vs, err := rs.Violations(rec)
+		if err != nil {
+			return 0, 0, err
+		}
+		pairViol += len(vs)
+		if len(vs) > 0 {
+			recViol++
+		}
+	}
+	pairRate = float64(pairViol) / float64(len(recs)*len(rs.Rules))
+	recordRate = float64(recViol) / float64(len(recs))
+	return pairRate, recordRate, nil
+}
+
+type evaluator struct {
+	rs  *RuleSet
+	rec Record
+	env map[string]int64
+}
+
+func (ev *evaluator) node(n Node) (bool, error) {
+	switch g := n.(type) {
+	case *CmpNode:
+		l, err := ev.expr(g.L)
+		if err != nil {
+			return false, err
+		}
+		r, err := ev.expr(g.R)
+		if err != nil {
+			return false, err
+		}
+		switch g.Op {
+		case CmpLE:
+			return l <= r, nil
+		case CmpLT:
+			return l < r, nil
+		case CmpGE:
+			return l >= r, nil
+		case CmpGT:
+			return l > r, nil
+		case CmpEQ:
+			return l == r, nil
+		case CmpNE:
+			return l != r, nil
+		}
+		return false, fmt.Errorf("bad comparison op")
+	case *AndNode:
+		for _, k := range g.Kids {
+			ok, err := ev.node(k)
+			if err != nil || !ok {
+				return false, err
+			}
+		}
+		return true, nil
+	case *OrNode:
+		for _, k := range g.Kids {
+			ok, err := ev.node(k)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+		return false, nil
+	case *NotNode:
+		ok, err := ev.node(g.Kid)
+		return !ok, err
+	case *ImpliesNode:
+		a, err := ev.node(g.A)
+		if err != nil {
+			return false, err
+		}
+		if !a {
+			return true, nil
+		}
+		return ev.node(g.B)
+	case *QuantNode:
+		lo, err := ev.expr(g.Lo)
+		if err != nil {
+			return false, err
+		}
+		hi, err := ev.expr(g.Hi)
+		if err != nil {
+			return false, err
+		}
+		for t := lo; t <= hi; t++ {
+			ev.env[g.Var] = t
+			ok, err := ev.node(g.Body)
+			if err != nil {
+				delete(ev.env, g.Var)
+				return false, err
+			}
+			if g.Forall && !ok {
+				delete(ev.env, g.Var)
+				return false, nil
+			}
+			if !g.Forall && ok {
+				delete(ev.env, g.Var)
+				return true, nil
+			}
+		}
+		delete(ev.env, g.Var)
+		return g.Forall, nil
+	}
+	return false, fmt.Errorf("unknown node %T", n)
+}
+
+func (ev *evaluator) expr(e Expr) (int64, error) {
+	switch g := e.(type) {
+	case *NumLit:
+		return g.V, nil
+	case *VarRef:
+		v, ok := ev.env[g.Name]
+		if !ok {
+			return 0, fmt.Errorf("loop variable %s out of scope", g.Name)
+		}
+		return v, nil
+	case *NegExpr:
+		v, err := ev.expr(g.E)
+		return -v, err
+	case *FieldRef:
+		vs, ok := ev.rec[g.Name]
+		if !ok {
+			return 0, fmt.Errorf("record missing field %s", g.Name)
+		}
+		idx := int64(0)
+		if g.Index != nil {
+			var err error
+			idx, err = ev.expr(g.Index)
+			if err != nil {
+				return 0, err
+			}
+		}
+		if idx < 0 || idx >= int64(len(vs)) {
+			return 0, fmt.Errorf("index %s[%d] out of range [0,%d)", g.Name, idx, len(vs))
+		}
+		return vs[idx], nil
+	case *CountExpr:
+		vs, ok := ev.rec[g.Field]
+		if !ok {
+			return 0, fmt.Errorf("record missing field %s", g.Field)
+		}
+		rhs, err := ev.expr(g.Rhs)
+		if err != nil {
+			return 0, err
+		}
+		var n int64
+		for _, v := range vs {
+			var hold bool
+			switch g.Op {
+			case CmpLE:
+				hold = v <= rhs
+			case CmpLT:
+				hold = v < rhs
+			case CmpGE:
+				hold = v >= rhs
+			case CmpGT:
+				hold = v > rhs
+			case CmpEQ:
+				hold = v == rhs
+			case CmpNE:
+				hold = v != rhs
+			}
+			if hold {
+				n++
+			}
+		}
+		return n, nil
+	case *AggRef:
+		vs, ok := ev.rec[g.Field]
+		if !ok {
+			return 0, fmt.Errorf("record missing field %s", g.Field)
+		}
+		if len(vs) == 0 {
+			return 0, fmt.Errorf("aggregate over empty field %s", g.Field)
+		}
+		switch g.Op {
+		case AggSum:
+			var s int64
+			for _, v := range vs {
+				s += v
+			}
+			return s, nil
+		case AggMax:
+			m := vs[0]
+			for _, v := range vs[1:] {
+				if v > m {
+					m = v
+				}
+			}
+			return m, nil
+		case AggMin:
+			m := vs[0]
+			for _, v := range vs[1:] {
+				if v < m {
+					m = v
+				}
+			}
+			return m, nil
+		}
+		return 0, fmt.Errorf("bad aggregate op")
+	case *BinExpr:
+		l, err := ev.expr(g.L)
+		if err != nil {
+			return 0, err
+		}
+		r, err := ev.expr(g.R)
+		if err != nil {
+			return 0, err
+		}
+		switch g.Op {
+		case '+':
+			return l + r, nil
+		case '-':
+			return l - r, nil
+		case '*':
+			return l * r, nil
+		case '/':
+			if r == 0 {
+				return 0, fmt.Errorf("division by zero")
+			}
+			return floorDivI(l, r), nil
+		}
+	}
+	return 0, fmt.Errorf("unknown expression %T", e)
+}

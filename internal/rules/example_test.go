@@ -1,0 +1,56 @@
+package rules_test
+
+import (
+	"fmt"
+
+	"repro/internal/rules"
+)
+
+// The paper's R1–R3 in the rule DSL, checked against the invalid output of
+// Fig 1a and the valid output of Fig 1b.
+func Example() {
+	schema := rules.MustSchema(
+		rules.Field{Name: "I", Kind: rules.Vector, Len: 5, Lo: 0, Hi: 60},
+		rules.Field{Name: "TotalIngress", Kind: rules.Scalar, Lo: 0, Hi: 300},
+		rules.Field{Name: "Congestion", Kind: rules.Scalar, Lo: 0, Hi: 100},
+	)
+	rs, err := rules.ParseRuleSet(`
+const BW = 60
+const T  = 5
+rule r1: forall t in 0..T-1: 0 <= I[t] <= BW
+rule r2: sum(I) == TotalIngress
+rule r3: Congestion > 0 -> max(I) >= BW/2
+`, schema)
+	if err != nil {
+		panic(err)
+	}
+
+	invalid := rules.Record{"I": {20, 15, 25, 70, 8}, "TotalIngress": {100}, "Congestion": {8}}
+	vs, _ := rs.Violations(invalid)
+	fmt.Println("Fig 1a output violates:", vs)
+
+	valid := rules.Record{"I": {20, 15, 25, 39, 1}, "TotalIngress": {100}, "Congestion": {8}}
+	vs, _ = rs.Violations(valid)
+	fmt.Println("Fig 1b output violates:", vs)
+	// Output:
+	// Fig 1a output violates: [r1 r2]
+	// Fig 1b output violates: []
+}
+
+// The count aggregate bounds how many sub-intervals may burst.
+func ExampleParseRuleSet_count() {
+	schema := rules.MustSchema(
+		rules.Field{Name: "I", Kind: rules.Vector, Len: 5, Lo: 0, Hi: 60},
+	)
+	rs, err := rules.ParseRuleSet("rule onepeak: count(I >= 30) <= 1", schema)
+	if err != nil {
+		panic(err)
+	}
+	ok, _ := rs.Eval(rs.Rules[0], rules.Record{"I": {5, 45, 10, 0, 3}})
+	fmt.Println("single burst:", ok)
+	ok, _ = rs.Eval(rs.Rules[0], rules.Record{"I": {35, 45, 10, 0, 3}})
+	fmt.Println("double burst:", ok)
+	// Output:
+	// single burst: true
+	// double burst: false
+}

@@ -1,0 +1,59 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseRuleSet hammers the DSL front end: arbitrary input must either
+// parse cleanly or return an error — never panic — and anything that parses
+// must render back to text that parses again.
+func FuzzParseRuleSet(f *testing.F) {
+	seeds := []string{
+		"",
+		"rule r: sum(I) == TotalIngress",
+		"const BW = 60\nrule r1: forall t in 0..4: 0 <= I[t] <= BW",
+		"rule r3: Congestion > 0 -> max(I) >= 30",
+		"rule c: count(I >= 30) <= 2",
+		"rule e: exists t in 0..4: I[t] >= 30 or I[t] == 0",
+		"rule n: not (min(I) < 2) and (TotalIngress + 10) * 2 >= 120",
+		"rule bad: ((((",
+		"const = rule",
+		"rule r: I[",
+		"rule r: forall forall",
+		"rule r: 1/0 > 2",
+		"# only a comment",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	schema := MustSchema(
+		Field{Name: "I", Kind: Vector, Len: 5, Lo: 0, Hi: 60},
+		Field{Name: "TotalIngress", Kind: Scalar, Lo: 0, Hi: 300},
+		Field{Name: "Congestion", Kind: Scalar, Lo: 0, Hi: 100},
+	)
+	f.Fuzz(func(t *testing.T, src string) {
+		rs, err := ParseRuleSet(src, schema)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Round trip: rendered output must re-parse.
+		text := rs.String()
+		rs2, err := ParseRuleSet(text, schema)
+		if err != nil {
+			t.Fatalf("accepted input renders unparseable text:\ninput: %q\nrendered: %q\nerr: %v", src, text, err)
+		}
+		if rs2.Len() != rs.Len() {
+			t.Fatalf("rule count changed through render/parse: %d -> %d", rs.Len(), rs2.Len())
+		}
+		// Every accepted rule must evaluate without panicking on a
+		// well-formed record.
+		rec := Record{"I": {1, 2, 3, 4, 5}, "TotalIngress": {15}, "Congestion": {0}}
+		for _, r := range rs.Rules {
+			if _, err := rs.Eval(r, rec); err != nil && !strings.Contains(err.Error(), "division by zero") &&
+				!strings.Contains(err.Error(), "out of range") {
+				t.Fatalf("accepted rule fails evaluation: %v (%s)", err, r)
+			}
+		}
+	})
+}

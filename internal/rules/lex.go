@@ -1,0 +1,203 @@
+package rules
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+)
+
+// tokKind enumerates lexical token kinds of the rule DSL.
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tInt
+	tLParen
+	tRParen
+	tLBracket
+	tRBracket
+	tColon
+	tComma
+	tDotDot
+	tPlus
+	tMinus
+	tStar
+	tSlash
+	tLE
+	tLT
+	tGE
+	tGT
+	tEQ
+	tNE
+	tArrow
+	tAssign // '=' in const declarations
+	// keywords
+	tAnd
+	tOr
+	tNot
+	tForall
+	tExists
+	tIn
+	tSum
+	tMax
+	tMin
+	tCount
+	tConst
+	tRule
+)
+
+var keywords = map[string]tokKind{
+	"and":    tAnd,
+	"or":     tOr,
+	"not":    tNot,
+	"forall": tForall,
+	"exists": tExists,
+	"in":     tIn,
+	"sum":    tSum,
+	"max":    tMax,
+	"min":    tMin,
+	"count":  tCount,
+	"const":  tConst,
+	"rule":   tRule,
+}
+
+// token is one lexical token with position info for error messages.
+type token struct {
+	kind tokKind
+	text string
+	num  int64
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	if t.kind == tEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lex tokenizes src. Comments run from '#' to end of line.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line, col := 1, 1
+	i := 0
+	emit := func(kind tokKind, text string) {
+		toks = append(toks, token{kind: kind, text: text, line: line, col: col})
+		col += len(text)
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			col = 1
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			col++
+			i++
+		case c == '#':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(src) && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			text := src[i:j]
+			n, err := strconv.ParseInt(text, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("rules: line %d: bad integer %q: %v", line, text, err)
+			}
+			toks = append(toks, token{kind: tInt, text: text, num: n, line: line, col: col})
+			col += len(text)
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < len(src) && isIdentPart(rune(src[j])) {
+				j++
+			}
+			text := src[i:j]
+			kind, isKw := keywords[text]
+			if !isKw {
+				kind = tIdent
+			}
+			emit(kind, text)
+			i = j
+		default:
+			two := ""
+			if i+1 < len(src) {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "<=":
+				emit(tLE, two)
+				i += 2
+				continue
+			case ">=":
+				emit(tGE, two)
+				i += 2
+				continue
+			case "==":
+				emit(tEQ, two)
+				i += 2
+				continue
+			case "!=":
+				emit(tNE, two)
+				i += 2
+				continue
+			case "->":
+				emit(tArrow, two)
+				i += 2
+				continue
+			case "..":
+				emit(tDotDot, two)
+				i += 2
+				continue
+			}
+			switch c {
+			case '(':
+				emit(tLParen, "(")
+			case ')':
+				emit(tRParen, ")")
+			case '[':
+				emit(tLBracket, "[")
+			case ']':
+				emit(tRBracket, "]")
+			case ':':
+				emit(tColon, ":")
+			case ',':
+				emit(tComma, ",")
+			case '+':
+				emit(tPlus, "+")
+			case '-':
+				emit(tMinus, "-")
+			case '*':
+				emit(tStar, "*")
+			case '/':
+				emit(tSlash, "/")
+			case '<':
+				emit(tLT, "<")
+			case '>':
+				emit(tGT, ">")
+			case '=':
+				emit(tAssign, "=")
+			default:
+				return nil, fmt.Errorf("rules: line %d col %d: unexpected character %q", line, col, string(c))
+			}
+			i++
+		}
+	}
+	toks = append(toks, token{kind: tEOF, line: line, col: col})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,511 @@
+package rules
+
+import (
+	"fmt"
+)
+
+// RuleSet is a parsed collection of rules plus the constants they use, bound
+// to a schema.
+type RuleSet struct {
+	Schema *Schema
+	Consts map[string]int64
+	Rules  []Rule
+}
+
+// ParseRuleSet parses DSL source against a schema. Constants must be declared
+// before use; rule names must be unique; every field reference is checked
+// against the schema (existence, scalar vs vector usage).
+func ParseRuleSet(src string, schema *Schema) (*RuleSet, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{
+		toks:   toks,
+		schema: schema,
+		rs:     &RuleSet{Schema: schema, Consts: map[string]int64{}},
+	}
+	if err := p.parseFile(); err != nil {
+		return nil, err
+	}
+	return p.rs, nil
+}
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks   []token
+	pos    int
+	schema *Schema
+	rs     *RuleSet
+	// loopVars tracks quantifier variables in scope during formula parsing.
+	loopVars map[string]bool
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(format string, args ...any) error {
+	t := p.cur()
+	return fmt.Errorf("rules: line %d col %d: %s", t.line, t.col, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(kind tokKind, what string) (token, error) {
+	if p.cur().kind != kind {
+		return token{}, p.errf("expected %s, got %s", what, p.cur())
+	}
+	return p.next(), nil
+}
+
+func (p *parser) parseFile() error {
+	names := map[string]bool{}
+	for p.cur().kind != tEOF {
+		switch p.cur().kind {
+		case tConst:
+			p.next()
+			id, err := p.expect(tIdent, "constant name")
+			if err != nil {
+				return err
+			}
+			if _, err := p.expect(tAssign, "'='"); err != nil {
+				return err
+			}
+			// Constant value: a constant-foldable expression.
+			e, err := p.parseExpr()
+			if err != nil {
+				return err
+			}
+			v, ok := foldConst(e, p.rs.Consts)
+			if !ok {
+				return p.errf("constant %s must have a constant value", id.text)
+			}
+			if _, dup := p.rs.Consts[id.text]; dup {
+				return p.errf("duplicate constant %s", id.text)
+			}
+			if _, isField := p.schema.Field(id.text); isField {
+				return p.errf("constant %s shadows a schema field", id.text)
+			}
+			p.rs.Consts[id.text] = v
+		case tRule:
+			p.next()
+			id, err := p.expect(tIdent, "rule name")
+			if err != nil {
+				return err
+			}
+			if names[id.text] {
+				return p.errf("duplicate rule name %s", id.text)
+			}
+			names[id.text] = true
+			if _, err := p.expect(tColon, "':'"); err != nil {
+				return err
+			}
+			p.loopVars = map[string]bool{}
+			body, err := p.parseFormula()
+			if err != nil {
+				return err
+			}
+			p.rs.Rules = append(p.rs.Rules, Rule{Name: id.text, Body: body})
+		default:
+			return p.errf("expected 'const' or 'rule', got %s", p.cur())
+		}
+	}
+	return nil
+}
+
+// parseFormula: implication, right-associative, lowest precedence.
+func (p *parser) parseFormula() (Node, error) {
+	a, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind == tArrow {
+		p.next()
+		b, err := p.parseFormula()
+		if err != nil {
+			return nil, err
+		}
+		return &ImpliesNode{A: a, B: b}, nil
+	}
+	return a, nil
+}
+
+func (p *parser) parseOr() (Node, error) {
+	a, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	kids := []Node{a}
+	for p.cur().kind == tOr {
+		p.next()
+		b, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, b)
+	}
+	if len(kids) == 1 {
+		return a, nil
+	}
+	return &OrNode{Kids: kids}, nil
+}
+
+func (p *parser) parseAnd() (Node, error) {
+	a, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	kids := []Node{a}
+	for p.cur().kind == tAnd {
+		p.next()
+		b, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, b)
+	}
+	if len(kids) == 1 {
+		return a, nil
+	}
+	return &AndNode{Kids: kids}, nil
+}
+
+// parseUnary: 'not' formulas, quantifiers, parenthesized formulas, and
+// comparisons.
+func (p *parser) parseUnary() (Node, error) {
+	switch p.cur().kind {
+	case tNot:
+		p.next()
+		kid, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &NotNode{Kid: kid}, nil
+	case tForall, tExists:
+		return p.parseQuant()
+	}
+	return p.parseCmpOrParen()
+}
+
+func (p *parser) parseQuant() (Node, error) {
+	forall := p.next().kind == tForall
+	id, err := p.expect(tIdent, "loop variable")
+	if err != nil {
+		return nil, err
+	}
+	if p.loopVars[id.text] {
+		return nil, p.errf("loop variable %s shadows an outer one", id.text)
+	}
+	if _, isField := p.schema.Field(id.text); isField {
+		return nil, p.errf("loop variable %s shadows a schema field", id.text)
+	}
+	if _, isConst := p.rs.Consts[id.text]; isConst {
+		return nil, p.errf("loop variable %s shadows a constant", id.text)
+	}
+	if _, err := p.expect(tIn, "'in'"); err != nil {
+		return nil, err
+	}
+	lo, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tDotDot, "'..'"); err != nil {
+		return nil, err
+	}
+	hi, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tColon, "':'"); err != nil {
+		return nil, err
+	}
+	p.loopVars[id.text] = true
+	body, err := p.parseFormula()
+	p.loopVars[id.text] = false
+	if err != nil {
+		return nil, err
+	}
+	return &QuantNode{Forall: forall, Var: id.text, Lo: lo, Hi: hi, Body: body}, nil
+}
+
+// parseCmpOrParen handles '(' formula ')' disambiguation against '(' expr ')'
+// by trying a comparison first when the parenthesized content is an
+// expression, and also supports chained comparisons (a <= b <= c).
+func (p *parser) parseCmpOrParen() (Node, error) {
+	// A leading '(' could open either a sub-formula or an expression.
+	// Strategy: attempt to parse an expression followed by a comparison;
+	// on failure at the formula level, backtrack and parse a formula.
+	if p.cur().kind == tLParen {
+		save := p.pos
+		if n, err := p.tryParenFormula(); err == nil {
+			return n, nil
+		}
+		p.pos = save
+	}
+	return p.parseCmp()
+}
+
+// tryParenFormula parses '(' formula ')' where the content is genuinely a
+// formula (contains a comparison or logical operator).
+func (p *parser) tryParenFormula() (Node, error) {
+	if _, err := p.expect(tLParen, "'('"); err != nil {
+		return nil, err
+	}
+	n, err := p.parseFormula()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tRParen, "')'"); err != nil {
+		return nil, err
+	}
+	// A parenthesized formula must not be followed by an arithmetic or
+	// comparison operator — that means the '(...)' was an expression.
+	switch p.cur().kind {
+	case tPlus, tMinus, tStar, tSlash, tLE, tLT, tGE, tGT, tEQ, tNE, tLBracket:
+		return nil, fmt.Errorf("rules: parenthesized expression, not formula")
+	}
+	return n, nil
+}
+
+func cmpFromTok(k tokKind) (CmpOp, bool) {
+	switch k {
+	case tLE:
+		return CmpLE, true
+	case tLT:
+		return CmpLT, true
+	case tGE:
+		return CmpGE, true
+	case tGT:
+		return CmpGT, true
+	case tEQ:
+		return CmpEQ, true
+	case tNE:
+		return CmpNE, true
+	}
+	return 0, false
+}
+
+// parseCmp parses expr (op expr)+ with chaining: a <= b <= c becomes
+// (a <= b) and (b <= c).
+func (p *parser) parseCmp() (Node, error) {
+	l, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	op, ok := cmpFromTok(p.cur().kind)
+	if !ok {
+		return nil, p.errf("expected comparison operator, got %s", p.cur())
+	}
+	p.next()
+	r, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	kids := []Node{&CmpNode{Op: op, L: l, R: r}}
+	for {
+		op2, ok := cmpFromTok(p.cur().kind)
+		if !ok {
+			break
+		}
+		p.next()
+		r2, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, &CmpNode{Op: op2, L: r, R: r2})
+		r = r2
+	}
+	if len(kids) == 1 {
+		return kids[0], nil
+	}
+	return &AndNode{Kids: kids}, nil
+}
+
+func (p *parser) parseExpr() (Expr, error) {
+	l, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tPlus || p.cur().kind == tMinus {
+		op := byte('+')
+		if p.cur().kind == tMinus {
+			op = '-'
+		}
+		p.next()
+		r, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseTerm() (Expr, error) {
+	l, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tStar || p.cur().kind == tSlash {
+		op := byte('*')
+		if p.cur().kind == tSlash {
+			op = '/'
+		}
+		p.next()
+		r, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseFactor() (Expr, error) {
+	switch t := p.cur(); t.kind {
+	case tInt:
+		p.next()
+		return &NumLit{V: t.num}, nil
+	case tMinus:
+		p.next()
+		e, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return &NegExpr{E: e}, nil
+	case tLParen:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tCount:
+		p.next()
+		if _, err := p.expect(tLParen, "'('"); err != nil {
+			return nil, err
+		}
+		id, err := p.expect(tIdent, "vector field name")
+		if err != nil {
+			return nil, err
+		}
+		f, ok := p.schema.Field(id.text)
+		if !ok {
+			return nil, p.errf("unknown field %s in count", id.text)
+		}
+		if f.Kind != Vector {
+			return nil, p.errf("count over scalar field %s", id.text)
+		}
+		op, ok := cmpFromTok(p.cur().kind)
+		if !ok {
+			return nil, p.errf("expected comparison operator in count, got %s", p.cur())
+		}
+		p.next()
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return &CountExpr{Field: id.text, Op: op, Rhs: rhs}, nil
+	case tSum, tMax, tMin:
+		p.next()
+		var op AggOp
+		switch t.kind {
+		case tSum:
+			op = AggSum
+		case tMax:
+			op = AggMax
+		case tMin:
+			op = AggMin
+		}
+		if _, err := p.expect(tLParen, "'('"); err != nil {
+			return nil, err
+		}
+		id, err := p.expect(tIdent, "vector field name")
+		if err != nil {
+			return nil, err
+		}
+		f, ok := p.schema.Field(id.text)
+		if !ok {
+			return nil, p.errf("unknown field %s in aggregate", id.text)
+		}
+		if f.Kind != Vector {
+			return nil, p.errf("aggregate %s over scalar field %s", op, id.text)
+		}
+		if _, err := p.expect(tRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return &AggRef{Op: op, Field: id.text}, nil
+	case tIdent:
+		p.next()
+		if p.loopVars[t.text] {
+			return &VarRef{Name: t.text}, nil
+		}
+		if v, isConst := p.rs.Consts[t.text]; isConst {
+			return &NumLit{V: v}, nil
+		}
+		f, isField := p.schema.Field(t.text)
+		if !isField {
+			return nil, p.errf("unknown identifier %s", t.text)
+		}
+		if p.cur().kind == tLBracket {
+			if f.Kind != Vector {
+				return nil, p.errf("indexing scalar field %s", t.text)
+			}
+			p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tRBracket, "']'"); err != nil {
+				return nil, err
+			}
+			return &FieldRef{Name: t.text, Index: idx}, nil
+		}
+		if f.Kind == Vector {
+			return nil, p.errf("vector field %s used without index or aggregate", t.text)
+		}
+		return &FieldRef{Name: t.text}, nil
+	}
+	return nil, p.errf("expected expression, got %s", p.cur())
+}
+
+// foldConst evaluates an expression that references only literals and
+// already-declared constants.
+func foldConst(e Expr, consts map[string]int64) (int64, bool) {
+	switch g := e.(type) {
+	case *NumLit:
+		return g.V, true
+	case *NegExpr:
+		v, ok := foldConst(g.E, consts)
+		return -v, ok
+	case *BinExpr:
+		l, ok1 := foldConst(g.L, consts)
+		r, ok2 := foldConst(g.R, consts)
+		if !ok1 || !ok2 {
+			return 0, false
+		}
+		switch g.Op {
+		case '+':
+			return l + r, true
+		case '-':
+			return l - r, true
+		case '*':
+			return l * r, true
+		case '/':
+			if r == 0 {
+				return 0, false
+			}
+			// Floor division, matching the solver's integer semantics.
+			q := l / r
+			if l%r != 0 && (l < 0) != (r < 0) {
+				q--
+			}
+			return q, true
+		}
+	}
+	return 0, false
+}

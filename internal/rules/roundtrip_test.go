@@ -1,0 +1,115 @@
+package rules
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randExprGen builds random DSL expressions over a fixed schema.
+type randGen struct {
+	rng *rand.Rand
+}
+
+func (g *randGen) expr(depth int, loopVar string) Expr {
+	if depth == 0 {
+		switch g.rng.Intn(4) {
+		case 0:
+			return &NumLit{V: int64(g.rng.Intn(21) - 10)}
+		case 1:
+			return &FieldRef{Name: "S"}
+		case 2:
+			if loopVar != "" {
+				return &FieldRef{Name: "X", Index: &VarRef{Name: loopVar}}
+			}
+			return &FieldRef{Name: "X", Index: &NumLit{V: int64(g.rng.Intn(3))}}
+		default:
+			return &AggRef{Op: AggSum, Field: "X"}
+		}
+	}
+	switch g.rng.Intn(4) {
+	case 0:
+		return &BinExpr{Op: '+', L: g.expr(depth-1, loopVar), R: g.expr(depth-1, loopVar)}
+	case 1:
+		return &BinExpr{Op: '-', L: g.expr(depth-1, loopVar), R: g.expr(depth-1, loopVar)}
+	case 2:
+		return &BinExpr{Op: '*', L: &NumLit{V: int64(g.rng.Intn(4) - 1)}, R: g.expr(depth-1, loopVar)}
+	default:
+		return &NegExpr{E: g.expr(depth-1, loopVar)}
+	}
+}
+
+func (g *randGen) node(depth int, loopVar string) Node {
+	if depth == 0 {
+		ops := []CmpOp{CmpLE, CmpLT, CmpGE, CmpGT, CmpEQ, CmpNE}
+		switch g.rng.Intn(5) {
+		case 0:
+			return &CmpNode{Op: ops[g.rng.Intn(6)],
+				L: &AggRef{Op: AggMax, Field: "X"}, R: g.expr(0, "")}
+		case 1:
+			return &CmpNode{Op: ops[g.rng.Intn(6)],
+				L: &AggRef{Op: AggMin, Field: "X"}, R: g.expr(0, "")}
+		case 2:
+			return &CmpNode{Op: ops[g.rng.Intn(6)],
+				L: &CountExpr{Field: "X", Op: ops[g.rng.Intn(6)], Rhs: &NumLit{V: int64(g.rng.Intn(10))}},
+				R: &NumLit{V: int64(g.rng.Intn(4))}}
+		default:
+			return &CmpNode{Op: ops[g.rng.Intn(6)], L: g.expr(1, loopVar), R: g.expr(1, loopVar)}
+		}
+	}
+	switch g.rng.Intn(6) {
+	case 0:
+		return &AndNode{Kids: []Node{g.node(depth-1, loopVar), g.node(depth-1, loopVar)}}
+	case 1:
+		return &OrNode{Kids: []Node{g.node(depth-1, loopVar), g.node(depth-1, loopVar)}}
+	case 2:
+		return &NotNode{Kid: g.node(depth-1, loopVar)}
+	case 3:
+		return &ImpliesNode{A: g.node(depth-1, loopVar), B: g.node(depth-1, loopVar)}
+	case 4:
+		if loopVar == "" {
+			v := "t"
+			return &QuantNode{Forall: g.rng.Intn(2) == 0, Var: v,
+				Lo: &NumLit{V: 0}, Hi: &NumLit{V: 2}, Body: g.node(depth-1, v)}
+		}
+		return g.node(depth-1, loopVar)
+	default:
+		return g.node(depth-1, loopVar)
+	}
+}
+
+// TestRenderParseEvalRoundTrip generates random rule ASTs, renders them to
+// DSL text, re-parses, and verifies the parsed rule evaluates identically on
+// random records — the grammar/renderer/evaluator coherence property.
+func TestRenderParseEvalRoundTrip(t *testing.T) {
+	schema := MustSchema(
+		Field{Name: "X", Kind: Vector, Len: 3, Lo: 0, Hi: 9},
+		Field{Name: "S", Kind: Scalar, Lo: 0, Hi: 30},
+	)
+	g := &randGen{rng: rand.New(rand.NewSource(101))}
+	for trial := 0; trial < 200; trial++ {
+		orig := Rule{Name: "r", Body: g.node(2, "")}
+		text := orig.String()
+		rs, err := ParseRuleSet(text, schema)
+		if err != nil {
+			t.Fatalf("trial %d: rendered rule does not parse: %v\n%s", trial, err, text)
+		}
+		origSet := &RuleSet{Schema: schema, Consts: map[string]int64{}, Rules: []Rule{orig}}
+		for rec := 0; rec < 10; rec++ {
+			r := Record{
+				"X": {int64(g.rng.Intn(10)), int64(g.rng.Intn(10)), int64(g.rng.Intn(10))},
+				"S": {int64(g.rng.Intn(31))},
+			}
+			want, err := origSet.Eval(orig, r)
+			if err != nil {
+				t.Fatalf("trial %d: eval original: %v\n%s", trial, err, text)
+			}
+			got, err := rs.Eval(rs.Rules[0], r)
+			if err != nil {
+				t.Fatalf("trial %d: eval parsed: %v\n%s", trial, err, text)
+			}
+			if got != want {
+				t.Fatalf("trial %d: semantics changed through render/parse on %v:\n%s", trial, r, text)
+			}
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package rules
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// String renders the rule set in parseable DSL syntax (constants first, then
+// rules in order). ParseRuleSet(rs.String(), rs.Schema) reproduces the set.
+func (rs *RuleSet) String() string {
+	var b strings.Builder
+	names := make([]string, 0, len(rs.Consts))
+	for k := range rs.Consts {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(&b, "const %s = %d\n", k, rs.Consts[k])
+	}
+	if len(names) > 0 && len(rs.Rules) > 0 {
+		b.WriteString("\n")
+	}
+	for _, r := range rs.Rules {
+		b.WriteString(r.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Filter returns a new rule set containing only rules for which keep returns
+// true; constants and schema are shared.
+func (rs *RuleSet) Filter(keep func(Rule) bool) *RuleSet {
+	out := &RuleSet{Schema: rs.Schema, Consts: rs.Consts}
+	for _, r := range rs.Rules {
+		if keep(r) {
+			out.Rules = append(out.Rules, r)
+		}
+	}
+	return out
+}
+
+// Merge returns a rule set combining the receiver's rules with other's.
+// Rule names must not collide; schemas must be the same object.
+func (rs *RuleSet) Merge(other *RuleSet) (*RuleSet, error) {
+	if rs.Schema != other.Schema {
+		return nil, fmt.Errorf("rules: merging rule sets with different schemas")
+	}
+	seen := map[string]bool{}
+	out := &RuleSet{Schema: rs.Schema, Consts: map[string]int64{}}
+	for k, v := range rs.Consts {
+		out.Consts[k] = v
+	}
+	for k, v := range other.Consts {
+		if existing, dup := out.Consts[k]; dup && existing != v {
+			return nil, fmt.Errorf("rules: constant %s has conflicting values %d and %d", k, existing, v)
+		}
+		out.Consts[k] = v
+	}
+	for _, r := range rs.Rules {
+		seen[r.Name] = true
+		out.Rules = append(out.Rules, r)
+	}
+	for _, r := range other.Rules {
+		if seen[r.Name] {
+			return nil, fmt.Errorf("rules: duplicate rule name %s in merge", r.Name)
+		}
+		out.Rules = append(out.Rules, r)
+	}
+	return out, nil
+}
+
+// Len reports the number of rules.
+func (rs *RuleSet) Len() int { return len(rs.Rules) }

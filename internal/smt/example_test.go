@@ -1,0 +1,71 @@
+package smt_test
+
+import (
+	"fmt"
+
+	"repro/internal/smt"
+)
+
+// The paper's running example (§2.1): five fine-grained ingress values must
+// sum to the observed total, stay under the link bandwidth, and — because
+// ECN marks were seen — include a burst of at least half the bandwidth.
+func Example() {
+	s := smt.NewSolver()
+	const bw = 60
+	var is []smt.Var
+	var sum smt.LinExpr
+	for i := 0; i < 5; i++ {
+		v := s.NewVar(fmt.Sprintf("I%d", i), 0, bw)
+		is = append(is, v)
+		sum = sum.Add(smt.V(v))
+	}
+	s.Assert(smt.Eq(sum, smt.C(100))) // R2: conservation
+	var burst []smt.Formula
+	for _, v := range is {
+		burst = append(burst, smt.Ge(smt.V(v), smt.C(bw/2)))
+	}
+	s.Assert(smt.Or(burst...)) // R3 with congestion observed
+
+	// Pin the values generated so far and ask what I3 may still become —
+	// the LeJIT lookahead query (Fig 1b step ②).
+	s.Assert(smt.Eq(smt.V(is[0]), smt.C(20)))
+	s.Assert(smt.Eq(smt.V(is[1]), smt.C(15)))
+	s.Assert(smt.Eq(smt.V(is[2]), smt.C(25)))
+
+	lo, hi, st := s.FeasibleRange(smt.V(is[3]))
+	fmt.Println(st, lo, hi)
+
+	// 70 — the model's intent in Fig 1a — is infeasible.
+	r := s.CheckWith(smt.Eq(smt.V(is[3]), smt.C(39)))
+	fmt.Println("I3=39:", r.Status)
+	// Output:
+	// sat 0 40
+	// I3=39: sat
+}
+
+// Minimize finds tight bounds under the assertions.
+func ExampleSolver_Minimize() {
+	s := smt.NewSolver()
+	x := s.NewVar("x", 0, 100)
+	y := s.NewVar("y", 0, 100)
+	s.Assert(smt.Ge(smt.V(x).Add(smt.V(y)), smt.C(10)))
+	min, st := s.Minimize(smt.Sum(smt.V(x), smt.CV(2, y)))
+	fmt.Println(st, min)
+	// Output: sat 10
+}
+
+// Push/Pop scope assertions per decoded record.
+func ExampleSolver_Push() {
+	s := smt.NewSolver()
+	x := s.NewVar("x", 0, 10)
+	s.Assert(smt.Ge(smt.V(x), smt.C(3)))
+
+	s.Push()
+	s.Assert(smt.Le(smt.V(x), smt.C(1)))
+	fmt.Println(s.Check().Status)
+	s.Pop()
+	fmt.Println(s.Check().Status)
+	// Output:
+	// unsat
+	// sat
+}

@@ -1,0 +1,84 @@
+package smt
+
+import "fmt"
+
+// Minimize finds the smallest value of e over all models of the active
+// assertions (conjoined with extra). It returns the minimum and Sat, or
+// Unsat if no model exists, or Unknown on budget exhaustion.
+//
+// The search is a binary descent on satisfiability: each probe conjoins
+// e ≤ mid and re-checks, so it needs O(log range) Check calls.
+func (s *Solver) Minimize(e LinExpr, extra ...Formula) (int64, Status) {
+	s.stats.OptQueries++
+	res := s.CheckWith(extra...)
+	if res.Status != Sat {
+		return 0, res.Status
+	}
+	cur, err := e.Eval(res.Model)
+	if err != nil {
+		return 0, Unknown
+	}
+	lo := s.exprDomainMin(e)
+	hi := cur
+	for lo < hi {
+		mid := lo + (hi-lo)/2 // floor; mid < hi always
+		probe := append(append([]Formula(nil), extra...), Le(e, C(mid)))
+		r := s.CheckWith(probe...)
+		switch r.Status {
+		case Sat:
+			v, err := e.Eval(r.Model)
+			if err != nil {
+				return 0, Unknown
+			}
+			if v < hi {
+				hi = v
+			} else {
+				hi = mid
+			}
+		case Unsat:
+			lo = mid + 1
+		default:
+			return 0, Unknown
+		}
+	}
+	return lo, Sat
+}
+
+// Maximize finds the largest value of e over all models of the active
+// assertions (conjoined with extra).
+func (s *Solver) Maximize(e LinExpr, extra ...Formula) (int64, Status) {
+	v, st := s.Minimize(e.Scale(-1), extra...)
+	return -v, st
+}
+
+// FeasibleRange computes [min, max] of e over all models; the two bounds may
+// be attained by different models. Returns Unsat/Unknown statuses as in
+// Minimize.
+func (s *Solver) FeasibleRange(e LinExpr, extra ...Formula) (lo, hi int64, st Status) {
+	lo, st = s.Minimize(e, extra...)
+	if st != Sat {
+		return 0, 0, st
+	}
+	hi, st = s.Maximize(e, extra...)
+	if st != Sat {
+		return 0, 0, st
+	}
+	return lo, hi, Sat
+}
+
+// exprDomainMin is the trivial lower bound of e from variable domains alone.
+func (s *Solver) exprDomainMin(e LinExpr) int64 {
+	d := domains{lo: s.lo, hi: s.hi}
+	minV, _ := d.exprRange(e)
+	return minV
+}
+
+// Value extracts the model value of e, panicking on incomplete models
+// (models returned by Check are always complete).
+func (r Result) Value(e LinExpr) int64 {
+	v, err := e.Eval(r.Model)
+	if err != nil {
+		panic(fmt.Sprintf("smt: %v", err))
+	}
+	return v
+}

@@ -1,0 +1,357 @@
+package smt
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Status is the outcome of a satisfiability check.
+type Status int
+
+const (
+	// Unknown means the solver exhausted its search budget.
+	Unknown Status = iota
+	// Sat means a model was found.
+	Sat
+	// Unsat means no model exists.
+	Unsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	}
+	return "unknown"
+}
+
+// Result carries the outcome of Check: the status and, when Sat, a model
+// assigning every declared variable a value within its bounds.
+type Result struct {
+	Status Status
+	Model  map[Var]int64
+}
+
+// Stats counts solver work, cumulative over the solver's lifetime.
+type Stats struct {
+	Checks       uint64 // Check / CheckWith invocations
+	Nodes        uint64 // search-tree nodes explored
+	Propagations uint64 // individual bound tightenings
+	Conflicts    uint64 // dead ends reached during search
+	OptQueries   uint64 // Minimize/Maximize invocations
+}
+
+// ErrBudget is returned when the search exceeds its node budget.
+var ErrBudget = errors.New("smt: search budget exhausted")
+
+// Solver is an incremental SMT solver for QF-LIA over finite-domain integer
+// variables. The zero value is not usable; create with NewSolver.
+//
+// Solver is not safe for concurrent use; create one per goroutine.
+type Solver struct {
+	names []string
+	lo    []int64
+	hi    []int64
+
+	asserted []Formula
+	frames   []int // assertion-stack frame marks for Push/Pop
+
+	// MaxNodes bounds the search-tree size per Check; Check returns
+	// Unknown when exceeded. The default is generous for LeJIT-scale
+	// problems (tens of variables, hundreds of constraints).
+	MaxNodes uint64
+
+	stats Stats
+}
+
+// NewSolver returns an empty solver.
+func NewSolver() *Solver {
+	return &Solver{MaxNodes: 1 << 20}
+}
+
+// NewVar declares an integer variable with inclusive bounds [lo, hi].
+// It panics if lo > hi: every variable must have a non-empty finite domain
+// (see DESIGN.md §4 — bounded counters make the solver complete).
+func (s *Solver) NewVar(name string, lo, hi int64) Var {
+	if lo > hi {
+		panic(fmt.Sprintf("smt: empty domain for %q: [%d,%d]", name, lo, hi))
+	}
+	v := Var(len(s.names))
+	s.names = append(s.names, name)
+	s.lo = append(s.lo, lo)
+	s.hi = append(s.hi, hi)
+	return v
+}
+
+// NumVars reports the number of declared variables.
+func (s *Solver) NumVars() int { return len(s.names) }
+
+// VarName returns the name v was declared with.
+func (s *Solver) VarName(v Var) string { return s.names[v] }
+
+// Bounds returns the declared domain of v.
+func (s *Solver) Bounds(v Var) (lo, hi int64) { return s.lo[v], s.hi[v] }
+
+// Assert adds f to the current assertion frame.
+func (s *Solver) Assert(f Formula) {
+	s.asserted = append(s.asserted, f)
+}
+
+// Push opens a new assertion frame.
+func (s *Solver) Push() {
+	s.frames = append(s.frames, len(s.asserted))
+}
+
+// Pop discards every assertion added since the matching Push.
+// It panics if no frame is open.
+func (s *Solver) Pop() {
+	if len(s.frames) == 0 {
+		panic("smt: Pop without Push")
+	}
+	mark := s.frames[len(s.frames)-1]
+	s.frames = s.frames[:len(s.frames)-1]
+	s.asserted = s.asserted[:mark]
+}
+
+// NumAssertions reports the number of currently active assertions.
+func (s *Solver) NumAssertions() int { return len(s.asserted) }
+
+// Stats returns a copy of the cumulative statistics.
+func (s *Solver) Stats() Stats { return s.stats }
+
+// Check decides satisfiability of the conjunction of all active assertions.
+func (s *Solver) Check() Result {
+	return s.CheckWith()
+}
+
+// CheckWith decides satisfiability of the active assertions conjoined with
+// extra, without mutating the assertion stack.
+func (s *Solver) CheckWith(extra ...Formula) Result {
+	s.stats.Checks++
+	st := &searchState{
+		dom:   newDomains(s.lo, s.hi),
+		solv:  s,
+		limit: s.MaxNodes,
+	}
+	pending := make([]Formula, 0, len(s.asserted)+len(extra))
+	for _, f := range s.asserted {
+		pending = append(pending, nnf(f))
+	}
+	for _, f := range extra {
+		pending = append(pending, nnf(f))
+	}
+	status, model := st.search(pending, nil, nil)
+	return Result{Status: status, Model: model}
+}
+
+// searchState carries per-Check search bookkeeping shared across branches.
+type searchState struct {
+	dom   *domains
+	solv  *Solver
+	nodes uint64
+	limit uint64
+}
+
+// search is the DPLL core. pending holds formulas not yet decomposed; cons
+// holds normalized linear constraints already in the store; disj holds
+// unresolved disjunctions. The domains in st.dom reflect the current branch.
+// On Sat it returns a complete model.
+func (st *searchState) search(pending []Formula, cons []lincon, disj []orF) (Status, map[Var]int64) {
+	st.nodes++
+	st.solv.stats.Nodes++
+	if st.nodes > st.limit {
+		return Unknown, nil
+	}
+
+	d := st.dom
+
+	// Decompose pending formulas into constraints and disjunctions.
+	for len(pending) > 0 {
+		f := pending[len(pending)-1]
+		pending = pending[:len(pending)-1]
+		switch g := f.(type) {
+		case boolF:
+			if !g.v {
+				st.solv.stats.Conflicts++
+				return Unsat, nil
+			}
+		case atomF:
+			c, kind := normalizeAtom(g.a)
+			switch kind {
+			case normTrue:
+			case normFalse:
+				st.solv.stats.Conflicts++
+				return Unsat, nil
+			case normCon:
+				cons = append(cons, c)
+			case normSplit:
+				lt := atomF{Atom{Expr: g.a.Expr, Op: OpLT}}
+				gt := atomF{Atom{Expr: g.a.Expr, Op: OpGT}}
+				disj = append(disj, orF{fs: []Formula{lt, gt}})
+			}
+		case andF:
+			pending = append(pending, g.fs...)
+		case orF:
+			disj = append(disj, g)
+		case notF:
+			// nnf leaves no notF nodes; defensive.
+			pending = append(pending, nnf(g))
+		}
+	}
+
+	// Propagate to fixpoint.
+	if !propagate(d, cons, &st.solv.stats.Propagations) {
+		st.solv.stats.Conflicts++
+		return Unsat, nil
+	}
+
+	// Simplify disjunctions under the tightened bounds: drop entailed
+	// ones, prune refuted disjuncts, unit-propagate single survivors.
+	for {
+		progressed := false
+		kept := disj[:0:0] // fresh backing to avoid aliasing across branches
+		for _, g := range disj {
+			live := make([]Formula, 0, len(g.fs))
+			entailed := false
+			for _, alt := range g.fs {
+				switch d.formulaStatus(alt) {
+				case triTrue:
+					entailed = true
+				case triUnknown:
+					live = append(live, alt)
+				}
+				if entailed {
+					break
+				}
+			}
+			if entailed {
+				progressed = true
+				continue
+			}
+			switch len(live) {
+			case 0:
+				st.solv.stats.Conflicts++
+				return Unsat, nil
+			case 1:
+				// Unit: assert the sole survivor now.
+				status, model := st.searchUnit(live[0], cons, append(kept, disj[indexAfter(disj, g):]...))
+				return status, model
+			default:
+				if len(live) != len(g.fs) {
+					progressed = true
+				}
+				kept = append(kept, orF{fs: live})
+			}
+		}
+		disj = kept
+		if !progressed {
+			break
+		}
+	}
+
+	// Decide: branch on a disjunction first (fewest alternatives first —
+	// the most constrained choice point); otherwise split a domain.
+	if len(disj) > 0 {
+		pick := 0
+		for i := 1; i < len(disj); i++ {
+			if len(disj[i].fs) < len(disj[pick].fs) {
+				pick = i
+			}
+		}
+		g := disj[pick]
+		rest := make([]orF, 0, len(disj)-1)
+		rest = append(rest, disj[:pick]...)
+		rest = append(rest, disj[pick+1:]...)
+		for _, alt := range g.fs {
+			saved := d.clone()
+			status, model := st.search([]Formula{alt}, cloneCons(cons), cloneDisj(rest))
+			if status == Sat || status == Unknown {
+				return status, model
+			}
+			*st.dom = *saved
+		}
+		st.solv.stats.Conflicts++
+		return Unsat, nil
+	}
+
+	// No disjunctions left. Find an unfixed variable appearing in some
+	// constraint; if none, the store is bounds-consistent and every
+	// constraint will be verified on the all-lower-bound assignment or
+	// needs a split.
+	v := pickBranchVar(d, cons)
+	if v == InvalidVar {
+		// All constrained variables fixed: verify and build the model.
+		for i := range cons {
+			if !conSatisfiedFixed(d, &cons[i]) {
+				st.solv.stats.Conflicts++
+				return Unsat, nil
+			}
+		}
+		model := make(map[Var]int64, len(d.lo))
+		for i := range d.lo {
+			model[Var(i)] = d.lo[i]
+		}
+		return Sat, model
+	}
+
+	// Domain split: [lo, mid] then [mid+1, hi].
+	lo, hi := d.lo[v], d.hi[v]
+	mid := lo + (hi-lo)/2
+	for _, half := range [2][2]int64{{lo, mid}, {mid + 1, hi}} {
+		saved := d.clone()
+		d.lo[v], d.hi[v] = half[0], half[1]
+		status, model := st.search(nil, cloneCons(cons), nil)
+		if status == Sat || status == Unknown {
+			return status, model
+		}
+		*st.dom = *saved
+	}
+	st.solv.stats.Conflicts++
+	return Unsat, nil
+}
+
+// searchUnit asserts a unit-propagated disjunct and continues.
+func (st *searchState) searchUnit(f Formula, cons []lincon, disj []orF) (Status, map[Var]int64) {
+	return st.search([]Formula{f}, cloneCons(cons), cloneDisj(disj))
+}
+
+// indexAfter finds g in disj (by slice position identity of fs) and returns
+// the index after it; used to pass the remaining disjunctions onward when
+// unit-propagating mid-scan.
+func indexAfter(disj []orF, g orF) int {
+	for i := range disj {
+		if len(disj[i].fs) == len(g.fs) && (len(g.fs) == 0 || &disj[i].fs[0] == &g.fs[0]) {
+			return i + 1
+		}
+	}
+	return len(disj)
+}
+
+func cloneCons(cons []lincon) []lincon {
+	return append([]lincon(nil), cons...)
+}
+
+func cloneDisj(disj []orF) []orF {
+	return append([]orF(nil), disj...)
+}
+
+// pickBranchVar selects the unfixed constrained variable with the smallest
+// domain (first-fail heuristic), or InvalidVar if all are fixed.
+func pickBranchVar(d *domains, cons []lincon) Var {
+	best := InvalidVar
+	var bestW int64
+	for i := range cons {
+		for _, t := range cons[i].terms {
+			if d.fixed(t.V) {
+				continue
+			}
+			w := d.width(t.V)
+			if best == InvalidVar || w < bestW {
+				best, bestW = t.V, w
+			}
+		}
+	}
+	return best
+}
