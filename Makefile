@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all tier1 verify bench perf fmt clean
+
+all: verify
+
+# Tier-1 gate: what CI and the roadmap require at minimum.
+tier1:
+	$(GO) build ./...
+	$(GO) test ./...
+
+# Full verify path: tier-1 plus static checks and the race detector over
+# the concurrent packages (the solver and the batched decode pool).
+verify: tier1
+	$(GO) vet ./...
+	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
+	$(GO) test -race ./internal/core/... ./internal/smt/...
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$'
+
+# Regenerate the machine-readable perf report (BENCH_1.json).
+perf:
+	$(GO) run ./cmd/lejit-bench -scale tiny -fig perf -json BENCH_1.json
+
+fmt:
+	gofmt -w .
+
+clean:
+	rm -f lejit repro.test

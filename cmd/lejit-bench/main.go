@@ -22,7 +22,7 @@ import (
 
 func main() {
 	scale := flag.String("scale", "default", "default|tiny")
-	figs := flag.String("fig", "all", "comma-separated: 3l,3r,4l,4r,5,abl (or all)")
+	figs := flag.String("fig", "all", "comma-separated: 3l,3r,4l,4r,5,abl,perf (or all)")
 	testN := flag.Int("testn", 0, "override test-record count")
 	sampleN := flag.Int("samplen", 0, "override synthesis sample count")
 	racks := flag.Int("racks", 0, "override total rack count")
@@ -30,6 +30,8 @@ func main() {
 	epochs := flag.Int("epochs", 0, "override training epochs")
 	cache := flag.String("cache", "artifacts", "model cache directory ('' disables)")
 	seed := flag.Int64("seed", 0, "override seed")
+	workers := flag.Int("workers", 0, "decode workers for batched methods (0 = GOMAXPROCS)")
+	jsonOut := flag.String("json", "", "write the perf report to this file (e.g. BENCH_1.json)")
 	quiet := flag.Bool("q", false, "suppress progress logs")
 	flag.Parse()
 
@@ -60,6 +62,9 @@ func main() {
 	}
 	if *seed != 0 {
 		sc.Seed = *seed
+	}
+	if *workers > 0 {
+		sc.Workers = *workers
 	}
 	sc.CacheDir = *cache
 	sc.Quiet = *quiet
@@ -121,6 +126,19 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(experiments.AblationTable("Ablation: decoding strategy (sampling vs greedy vs beam)", db).Render())
+	}
+	if all || want["perf"] || *jsonOut != "" {
+		rep, err := experiments.RunPerf(env, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.PerfTable(rep).Render())
+		if *jsonOut != "" {
+			if err := rep.WriteJSON(*jsonOut); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("# perf report written to %s\n", *jsonOut)
+		}
 	}
 }
 

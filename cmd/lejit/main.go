@@ -15,7 +15,6 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 
 	"repro/internal/core"
@@ -224,6 +223,7 @@ func cmdDecode(args []string, impute bool) error {
 	temp := fs.Float64("temp", 0.9, "sampling temperature")
 	mode := fs.String("mode", "lejit", "lejit|structure|vanilla|rejection|posthoc")
 	testSeed := fs.Int64("test-seed", 99, "simulator seed for test prompts (impute)")
+	workers := fs.Int("workers", 0, "parallel decode workers (0 = GOMAXPROCS); output is deterministic in -seed regardless")
 	fs.Parse(args)
 
 	engMode := core.LeJIT
@@ -237,7 +237,6 @@ func cmdDecode(args []string, impute bool) error {
 	if err != nil {
 		return err
 	}
-	rng := rand.New(rand.NewSource(*seed))
 
 	var prompts []rules.Record
 	if impute {
@@ -253,33 +252,32 @@ func cmdDecode(args []string, impute bool) error {
 		prompts = make([]rules.Record, *n)
 	}
 
-	for i, known := range prompts {
-		var res core.Result
-		var err error
-		switch *mode {
-		case "lejit", "structure":
-			if impute {
-				res, err = eng.Impute(known, rng)
-			} else {
-				res, err = eng.Generate(rng)
-			}
-		case "vanilla":
-			res, err = eng.Vanilla(known, rng)
-		case "rejection":
-			res, err = eng.Rejection(known, rng)
-		case "posthoc":
-			res, err = eng.PostHoc(known, rng)
-		default:
-			return fmt.Errorf("unknown mode %q", *mode)
-		}
-		if err != nil {
-			fmt.Printf("# record %d: error: %v\n", i, err)
+	var decode core.DecodeFn
+	switch *mode {
+	case "lejit", "structure":
+		// nil → Impute for prompts, Generate for nil prompts.
+	case "vanilla":
+		decode = (*core.Engine).Vanilla
+	case "rejection":
+		decode = (*core.Engine).Rejection
+	case "posthoc":
+		decode = (*core.Engine).PostHoc
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+	batch, err := eng.DecodeBatch(prompts, *workers, *seed, decode)
+	if err != nil {
+		return err
+	}
+	for i, b := range batch {
+		if b.Err != nil {
+			fmt.Printf("# record %d: error: %v\n", i, b.Err)
 			continue
 		}
-		line := dataset.Format(res.Rec)
+		line := dataset.Format(b.Res.Rec)
 		var viol []string
 		if rs != nil {
-			viol, _ = rs.Violations(res.Rec)
+			viol, _ = rs.Violations(b.Res.Rec)
 		}
 		fmt.Printf("%s", line)
 		if len(viol) > 0 {

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/rules"
+)
+
+// DecodeFn decodes one prompt on an engine. DecodeBatch calls it with a
+// worker-local engine and a per-prompt RNG; implementations must not retain
+// either across calls. Method expressions over *Engine fit directly, e.g.
+// (*Engine).Vanilla.
+type DecodeFn func(e *Engine, known rules.Record, rng *rand.Rand) (Result, error)
+
+// BatchResult pairs one prompt's decode outcome with its index.
+type BatchResult struct {
+	Index int
+	Res   Result
+	Err   error
+}
+
+// batchSeed derives the RNG seed for prompt i. Seeding by index rather than
+// by decode order is what makes batch output independent of worker count
+// and scheduling.
+func batchSeed(seed int64, i int) int64 { return seed + int64(i)*7919 }
+
+// DecodeBatch decodes prompts[i] for every i and returns results in prompt
+// order. A nil prompt means unconditional generation; a nil decode selects
+// Generate/Impute accordingly. workers < 1 means runtime.GOMAXPROCS(0).
+//
+// Determinism contract: prompt i is decoded with rand.NewSource(seed +
+// i*7919) on an engine equivalent to the receiver (the receiver itself when
+// workers == 1, a Clone otherwise), so for a fixed seed the returned records
+// are byte-identical for every worker count. Engines are single-threaded;
+// each worker gets its own clone, while the LM weights and the compiled rule
+// formula are shared read-only.
+func (e *Engine) DecodeBatch(prompts []rules.Record, workers int, seed int64, decode DecodeFn) ([]BatchResult, error) {
+	if decode == nil {
+		decode = func(eng *Engine, known rules.Record, rng *rand.Rand) (Result, error) {
+			if known == nil {
+				return eng.Generate(rng)
+			}
+			return eng.Impute(known, rng)
+		}
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(prompts) {
+		workers = len(prompts)
+	}
+	out := make([]BatchResult, len(prompts))
+	for i := range out {
+		out[i].Index = i
+	}
+	if len(prompts) == 0 {
+		return out, nil
+	}
+	if workers == 1 {
+		for i, p := range prompts {
+			rng := rand.New(rand.NewSource(batchSeed(seed, i)))
+			out[i].Res, out[i].Err = decode(e, p, rng)
+		}
+		return out, nil
+	}
+
+	engines := make([]*Engine, workers)
+	for w := range engines {
+		eng, err := e.Clone()
+		if err != nil {
+			return nil, err
+		}
+		engines[w] = eng
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for _, eng := range engines {
+		wg.Add(1)
+		go func(eng *Engine) {
+			defer wg.Done()
+			for i := range idx {
+				rng := rand.New(rand.NewSource(batchSeed(seed, i)))
+				out[i].Res, out[i].Err = decode(eng, prompts[i], rng)
+			}
+		}(eng)
+	}
+	for i := range prompts {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out, nil
+}
+
+// BatchImpute builds an engine from cfg and imputes every prompt via
+// DecodeBatch. Kept as the package-level convenience entry point; callers
+// that already hold an engine should use DecodeBatch directly and skip the
+// construction cost.
+func BatchImpute(cfg Config, prompts []rules.Record, workers int, seed int64) ([]BatchResult, error) {
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return eng.DecodeBatch(prompts, workers, seed, nil)
+}

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/rules"
+	"repro/internal/vocab"
+)
+
+// formatRec renders a record deterministically for byte-level comparison.
+func formatRec(t *testing.T, e *Engine, rec rules.Record) string {
+	t.Helper()
+	var b strings.Builder
+	for _, s := range e.Slots() {
+		vs, ok := rec[s.Field]
+		if !ok || s.Index >= len(vs) {
+			t.Fatalf("record missing %s[%d]", s.Field, s.Index)
+		}
+		fmt.Fprintf(&b, "%d%c", vs[s.Index], s.Sep)
+	}
+	return b.String()
+}
+
+func testPrompts(n int) []rules.Record {
+	rng := rand.New(rand.NewSource(7))
+	prompts := make([]rules.Record, n)
+	for i := range prompts {
+		total := rng.Int63n(200)
+		cong := int64(0)
+		// Keep Congestion>0 prompts feasible under r3 (max(I) >= 30
+		// requires total >= 30).
+		if total >= 30 && rng.Intn(2) == 0 {
+			cong = rng.Int63n(50) + 1
+		}
+		prompts[i] = rules.Record{
+			"TotalIngress": {total},
+			"Congestion":   {cong},
+		}
+	}
+	return prompts
+}
+
+// TestDecodeBatchDeterministic is the PR's headline contract: the same seed
+// must produce byte-identical records for any worker count.
+func TestDecodeBatchDeterministic(t *testing.T) {
+	e := testEngine(t, uniformLM{vocab: vocab.Telemetry().Size()}, LeJIT)
+	prompts := testPrompts(12)
+
+	var want []string
+	for _, workers := range []int{1, 4, 8} {
+		out, err := e.DecodeBatch(prompts, workers, 42, nil)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(out) != len(prompts) {
+			t.Fatalf("workers=%d: got %d results, want %d", workers, len(out), len(prompts))
+		}
+		got := make([]string, len(out))
+		for i, b := range out {
+			if b.Err != nil {
+				t.Fatalf("workers=%d record %d: %v", workers, i, b.Err)
+			}
+			if b.Index != i {
+				t.Fatalf("workers=%d: result %d has index %d", workers, i, b.Index)
+			}
+			got[i] = formatRec(t, e, b.Res.Rec)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("workers=%d record %d differs:\n got %q\nwant %q", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestDecodeBatchGenerate covers the nil-prompt (unconditional synthesis)
+// path and rule compliance of its output.
+func TestDecodeBatchGenerate(t *testing.T) {
+	e := testEngine(t, uniformLM{vocab: vocab.Telemetry().Size()}, LeJIT)
+	out, err := e.DecodeBatch(make([]rules.Record, 6), 3, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range out {
+		if b.Err != nil {
+			t.Fatalf("record %d: %v", i, b.Err)
+		}
+		viol, err := e.Rules().Violations(b.Res.Rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(viol) > 0 {
+			t.Errorf("record %d violates %v", i, viol)
+		}
+	}
+}
+
+// TestDecodeBatchCustomFn routes a baseline through the pool via a method
+// expression.
+func TestDecodeBatchCustomFn(t *testing.T) {
+	schema := testSchema(t)
+	slots := testGrammar(t, schema)
+	tok := vocab.Telemetry()
+	e := testEngine(t, formatAwareLM{tok: tok, slots: slots}, LeJIT)
+	prompts := testPrompts(4)
+	out, err := e.DecodeBatch(prompts, 2, 9, (*Engine).Vanilla)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(prompts) {
+		t.Fatalf("got %d results, want %d", len(out), len(prompts))
+	}
+	n := 0
+	for _, b := range out {
+		if b.Err == nil {
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("vanilla batch produced no records at all")
+	}
+}
+
+// TestDecodeBatchRace hammers the pool so `go test -race` can prove engine
+// isolation: shared LM weights and the shared compiled rule formula are
+// read-only; everything mutable is per-clone.
+func TestDecodeBatchRace(t *testing.T) {
+	e := testEngine(t, uniformLM{vocab: vocab.Telemetry().Size()}, LeJIT)
+	prompts := testPrompts(24)
+	for round := 0; round < 3; round++ {
+		if _, err := e.DecodeBatch(prompts, 8, int64(round), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCloneSharesCompiledRules verifies the satellite fix: cloning must not
+// recompile rules or burn solver checks on a satisfiability pre-check.
+func TestCloneSharesCompiledRules(t *testing.T) {
+	e := testEngine(t, uniformLM{vocab: vocab.Telemetry().Size()}, LeJIT)
+	c, err := e.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.SolverStats().Checks; got != 0 {
+		t.Errorf("clone performed %d solver checks at construction, want 0", got)
+	}
+	if c.ruleFormula == nil {
+		t.Error("clone did not inherit the compiled rule formula")
+	}
+	// The clone must still enforce: decode and check compliance.
+	res, err := c.Impute(rules.Record{"TotalIngress": {120}, "Congestion": {10}}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	viol, err := c.Rules().Violations(res.Rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viol) > 0 {
+		t.Errorf("clone output violates %v", viol)
+	}
+}
+
+// TestOracleCacheStats checks the epoch-keyed oracle cache is live (hits on
+// repeat probes) and fully disabled under NoOracleCache.
+func TestOracleCacheStats(t *testing.T) {
+	e := testEngine(t, uniformLM{vocab: vocab.Telemetry().Size()}, LeJIT)
+	res, err := e.Impute(rules.Record{"TotalIngress": {120}, "Congestion": {10}}, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.OracleQueries == 0 {
+		t.Fatal("no oracle queries recorded")
+	}
+	if res.Stats.OracleHits == 0 {
+		t.Error("oracle cache recorded zero hits on a full decode")
+	}
+	if res.Stats.OracleHits >= res.Stats.OracleQueries {
+		t.Errorf("hits %d >= queries %d", res.Stats.OracleHits, res.Stats.OracleQueries)
+	}
+	if res.Stats.SolverChecks == 0 {
+		t.Error("no solver checks recorded")
+	}
+
+	schema := testSchema(t)
+	rs, err := rules.ParseRuleSet(testRules, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noCache, err := NewEngine(Config{
+		LM: uniformLM{vocab: vocab.Telemetry().Size()}, Tok: vocab.Telemetry(),
+		Schema: schema, Rules: rs, Slots: testGrammar(t, schema), Mode: LeJIT,
+		NoOracleCache: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := noCache.Impute(rules.Record{"TotalIngress": {120}, "Congestion": {10}}, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Stats.OracleHits != 0 {
+		t.Errorf("NoOracleCache engine recorded %d hits", res2.Stats.OracleHits)
+	}
+	if res2.Stats.SolverChecks < res.Stats.SolverChecks {
+		t.Errorf("cache-off solver checks %d < cache-on %d", res2.Stats.SolverChecks, res.Stats.SolverChecks)
+	}
+}
+
+// TestBatchImputeCompat keeps the package-level entry point working.
+func TestBatchImputeCompat(t *testing.T) {
+	schema := testSchema(t)
+	rs, err := rules.ParseRuleSet(testRules, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		LM: uniformLM{vocab: vocab.Telemetry().Size()}, Tok: vocab.Telemetry(),
+		Schema: schema, Rules: rs, Slots: testGrammar(t, schema), Mode: LeJIT,
+	}
+	out, err := BatchImpute(cfg, testPrompts(3), 2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("got %d results, want 3", len(out))
+	}
+	for i, b := range out {
+		if b.Err != nil {
+			t.Fatalf("record %d: %v", i, b.Err)
+		}
+	}
+}

@@ -143,6 +143,11 @@ type Stats struct {
 	Attempts     int    // sampling attempts (rejection baseline)
 	Malformed    int    // free-sampling outputs that failed to parse
 	Repaired     bool   // post-hoc repair modified the output
+	// OracleQueries counts range-feasibility probes issued by the guided
+	// decoder; OracleHits counts how many were served from the engine's
+	// epoch-keyed cache without a solver call.
+	OracleQueries uint64
+	OracleHits    uint64
 	// LogProb is the renormalized log-probability of the returned token
 	// sequence (filled by BeamImpute; 0 for samplers).
 	LogProb float64
@@ -182,14 +187,38 @@ type Engine struct {
 	cfg     Config
 	solver  *smt.Solver
 	binding *rules.Binding
+	// ruleFormula is the rule set compiled once against the binding's
+	// variables; clones re-assert it instead of recompiling. Sharing is
+	// sound because rules.Instantiate declares variables in schema order,
+	// so every clone's solver assigns the same Var ids.
+	ruleFormula smt.Formula
 	// digitTok[d] is the token id of digit d.
 	digitTok  [10]int
 	maxDigits map[string]int // per field, from the domain's upper bound
+	// oracleCache memoizes range-feasibility probes keyed by solver epoch:
+	// entries stay valid exactly while the assertion stack is unchanged,
+	// so no explicit invalidation is needed. Reset per record in guided()
+	// to bound growth.
+	oracleCache map[oracleKey]bool
+}
+
+// oracleKey identifies one range-feasibility query against one solver state.
+type oracleKey struct {
+	epoch  uint64
+	v      smt.Var
+	lo, hi int64
 }
 
 // NewEngine validates the configuration, compiles the rules, and returns a
 // ready engine.
 func NewEngine(cfg Config) (*Engine, error) {
+	return newEngine(cfg, nil)
+}
+
+// newEngine builds an engine; when ruleFormula is non-nil it is asserted
+// as-is (the clone path), skipping rule compilation and the initial
+// satisfiability pre-check, which the originating engine already did.
+func newEngine(cfg Config, ruleFormula smt.Formula) (*Engine, error) {
 	if cfg.LM == nil || cfg.Tok == nil || cfg.Schema == nil {
 		return nil, fmt.Errorf("core: LM, Tok, and Schema are required")
 	}
@@ -209,7 +238,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("core: LM vocab %d != tokenizer %d", cfg.LM.VocabSize(), cfg.Tok.Size())
 	}
 
-	e := &Engine{cfg: cfg, maxDigits: map[string]int{}}
+	e := &Engine{cfg: cfg, maxDigits: map[string]int{}, oracleCache: map[oracleKey]bool{}}
 	e.digitTok = cfg.Tok.DigitIDs()
 	for d, id := range e.digitTok {
 		if id == -1 {
@@ -247,21 +276,29 @@ func NewEngine(cfg Config) (*Engine, error) {
 	}
 	e.binding = rules.Instantiate(e.solver, cfg.Schema)
 	if cfg.Rules != nil && cfg.Mode == LeJIT {
-		f, err := cfg.Rules.CompileAll(e.binding)
-		if err != nil {
-			return nil, fmt.Errorf("core: compiling rules: %w", err)
-		}
-		e.solver.Assert(f)
-		if r := e.solver.Check(); r.Status != smt.Sat {
-			return nil, fmt.Errorf("core: rule set is unsatisfiable on its own (%v)", r.Status)
+		if ruleFormula != nil {
+			e.ruleFormula = ruleFormula
+			e.solver.Assert(ruleFormula)
+		} else {
+			f, err := cfg.Rules.CompileAll(e.binding)
+			if err != nil {
+				return nil, fmt.Errorf("core: compiling rules: %w", err)
+			}
+			e.ruleFormula = f
+			e.solver.Assert(f)
+			if r := e.solver.Check(); r.Status != smt.Sat {
+				return nil, fmt.Errorf("core: rule set is unsatisfiable on its own (%v)", r.Status)
+			}
 		}
 	}
 	return e, nil
 }
 
 // Clone returns an independent engine with the same configuration (for
-// parallel decoding).
-func (e *Engine) Clone() (*Engine, error) { return NewEngine(e.cfg) }
+// parallel decoding). The compiled rule formula is shared — it is an
+// immutable tree and both solvers bind identical Var ids — so cloning does
+// no rule recompilation and zero solver checks.
+func (e *Engine) Clone() (*Engine, error) { return newEngine(e.cfg, e.ruleFormula) }
 
 // Rules returns the engine's rule set (may be nil).
 func (e *Engine) Rules() *rules.RuleSet { return e.cfg.Rules }

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"math/rand"
 
 	"repro/internal/rules"
 	"repro/internal/smt"
@@ -82,54 +81,4 @@ func (e *Engine) DiagnoseInfeasible(known rules.Record) ([]string, error) {
 		}
 	}
 	return names, nil
-}
-
-// BatchResult pairs one prompt's decode outcome with its index.
-type BatchResult struct {
-	Index int
-	Res   Result
-	Err   error
-}
-
-// BatchImpute decodes many prompts in parallel, building one engine clone
-// per worker (engines are single-threaded; the underlying model's weights
-// are read-only and shared). Results are returned in prompt order. Each
-// prompt gets a deterministic per-index RNG derived from seed, so results
-// are reproducible regardless of worker count.
-func BatchImpute(cfg Config, prompts []rules.Record, workers int, seed int64) ([]BatchResult, error) {
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > len(prompts) {
-		workers = len(prompts)
-	}
-	out := make([]BatchResult, len(prompts))
-	if len(prompts) == 0 {
-		return out, nil
-	}
-
-	idx := make(chan int)
-	errc := make(chan error, workers)
-	for w := 0; w < workers; w++ {
-		eng, err := NewEngine(cfg)
-		if err != nil {
-			return nil, err
-		}
-		go func(eng *Engine) {
-			for i := range idx {
-				rng := rand.New(rand.NewSource(seed + int64(i)*7919))
-				res, err := eng.Impute(prompts[i], rng)
-				out[i] = BatchResult{Index: i, Res: res, Err: err}
-			}
-			errc <- nil
-		}(eng)
-	}
-	for i := range prompts {
-		idx <- i
-	}
-	close(idx)
-	for w := 0; w < workers; w++ {
-		<-errc
-	}
-	return out, nil
 }

@@ -43,6 +43,9 @@ func (e *Engine) guided(known rules.Record, rng *rand.Rand) (Result, error) {
 		return res, err
 	}
 	checksBefore := e.solver.Stats().Checks
+	// Entries are keyed by solver epoch, so stale ones can never be hit;
+	// clearing per record just bounds the map's growth.
+	clear(e.oracleCache)
 
 	e.solver.Push()
 	defer e.solver.Pop()
@@ -92,14 +95,26 @@ func (e *Engine) generateValue(slot Slot, sess Session, rng *rand.Rand, st *Stat
 		lo, hi := f.Lo, f.Hi
 		oracle = func(qlo, qhi int64) bool { return qlo <= hi && lo <= qhi }
 	} else {
-		// The oracle's Checks are cacheable within one slot: the
-		// assertion store only changes when a value completes.
+		// Probes are memoized on the engine, keyed by solver epoch: the
+		// assertion stack only changes when a value completes, so every
+		// probe of this slot — and of any later re-probe under the same
+		// stack — is served from one cache generation.
 		oracle = func(qlo, qhi int64) bool {
+			st.OracleQueries++
+			var key oracleKey
+			if !e.cfg.NoOracleCache {
+				key = oracleKey{epoch: e.solver.Epoch(), v: v, lo: qlo, hi: qhi}
+				if sat, ok := e.oracleCache[key]; ok {
+					st.OracleHits++
+					return sat
+				}
+			}
 			r := e.solver.CheckWith(smt.Ge(smt.V(v), smt.C(qlo)), smt.Le(smt.V(v), smt.C(qhi)))
-			return r.Status == smt.Sat
-		}
-		if !e.cfg.NoOracleCache {
-			oracle = transition.CachedOracle(oracle)
+			sat := r.Status == smt.Sat
+			if !e.cfg.NoOracleCache {
+				e.oracleCache[key] = sat
+			}
+			return sat
 		}
 	}
 	sys := transition.New(e.maxDigits[slot.Field], oracle)

@@ -221,3 +221,35 @@ func TestDecodeStrategyAblationTiny(t *testing.T) {
 	}
 	_ = AblationTable("decode", ab).Render()
 }
+
+func TestRunPerfTiny(t *testing.T) {
+	env := tinyEnv(t)
+	rep, err := RunPerf(env, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Records != env.Scale.TestN {
+		t.Errorf("records %d, want %d", rep.Records, env.Scale.TestN)
+	}
+	if rep.Tokens == 0 || rep.TokensPerSec <= 0 {
+		t.Errorf("no throughput measured: tokens=%d tokens/sec=%v", rep.Tokens, rep.TokensPerSec)
+	}
+	if rep.ChecksPerToken <= 0 {
+		t.Error("checks/token not recorded")
+	}
+	if rep.OracleHitRate <= 0 || rep.OracleHitRate >= 1 {
+		t.Errorf("oracle hit rate %v outside (0,1)", rep.OracleHitRate)
+	}
+	if rep.WarmStartRate <= 0 || rep.WarmStartRate > 1 {
+		t.Errorf("warm-start rate %v outside (0,1]", rep.WarmStartRate)
+	}
+	if len(rep.ByWorkers) != 2 || rep.ByWorkers[0].Workers != 1 || rep.ByWorkers[1].Workers != 2 {
+		t.Fatalf("worker sweep %+v, want counts {1,2}", rep.ByWorkers)
+	}
+	for _, w := range rep.ByWorkers {
+		if w.RecordsPerSec <= 0 {
+			t.Errorf("workers=%d: no throughput", w.Workers)
+		}
+	}
+	_ = PerfTable(rep).Render()
+}

@@ -16,6 +16,17 @@ import (
 type ImputeMethod struct {
 	Name string
 	Run  func(known rules.Record, rng *rand.Rand) (rules.Record, error)
+	// Batch, when non-nil, decodes all prompts through core.DecodeBatch
+	// (engine-backed methods set it); serial-only methods — stateful
+	// generators like Zoom2Net — leave it nil and fall back to Run.
+	Batch func(prompts []rules.Record, workers int, seed int64) ([]core.BatchResult, error)
+}
+
+// batcher adapts an engine + decode function to the ImputeMethod.Batch shape.
+func batcher(eng *core.Engine, fn core.DecodeFn) func([]rules.Record, int, int64) ([]core.BatchResult, error) {
+	return func(prompts []rules.Record, workers int, seed int64) ([]core.BatchResult, error) {
+		return eng.DecodeBatch(prompts, workers, seed, fn)
+	}
 }
 
 // ImputeResult aggregates one method's imputation run (feeds Fig 3 and
@@ -79,15 +90,15 @@ func (e *Env) ImputeMethods() ([]ImputeMethod, error) {
 		}
 	}
 	return []ImputeMethod{
-		{Name: "Vanilla GPT-2", Run: wrap(engMined.Vanilla)},
-		{Name: "Rejection Sampling", Run: wrap(engMined.Rejection)},
-		{Name: "Post-hoc SMT Repair", Run: wrap(engMined.PostHoc)},
-		{Name: "Constrained Decoding", Run: wrap(engStruct.Impute)},
+		{Name: "Vanilla GPT-2", Run: wrap(engMined.Vanilla), Batch: batcher(engMined, (*core.Engine).Vanilla)},
+		{Name: "Rejection Sampling", Run: wrap(engMined.Rejection), Batch: batcher(engMined, (*core.Engine).Rejection)},
+		{Name: "Post-hoc SMT Repair", Run: wrap(engMined.PostHoc), Batch: batcher(engMined, (*core.Engine).PostHoc)},
+		{Name: "Constrained Decoding", Run: wrap(engStruct.Impute), Batch: batcher(engStruct, (*core.Engine).Impute)},
 		{Name: "Zoom2Net", Run: func(known rules.Record, _ *rand.Rand) (rules.Record, error) {
 			return z2n.Impute(known)
 		}},
-		{Name: "LeJIT (manual rules)", Run: wrap(engManual.Impute)},
-		{Name: "LeJIT", Run: wrap(engMined.Impute)},
+		{Name: "LeJIT (manual rules)", Run: wrap(engManual.Impute), Batch: batcher(engManual, (*core.Engine).Impute)},
+		{Name: "LeJIT", Run: wrap(engMined.Impute), Batch: batcher(engMined, (*core.Engine).Impute)},
 	}, nil
 }
 
@@ -112,24 +123,45 @@ func RunImputation(env *Env) ([]ImputeResult, error) {
 }
 
 func runOneImputation(env *Env, m ImputeMethod, test []rules.Record) (ImputeResult, error) {
-	rng := rand.New(rand.NewSource(env.Scale.Seed + 1000))
 	res := ImputeResult{Method: m.Name, Records: len(test)}
 
 	var preds, truths [][]int64
 	var outRecs []rules.Record
 	start := time.Now()
-	for _, rec := range test {
-		known := CoarseOf(rec)
-		got, err := m.Run(known, rng)
-		if err != nil {
-			res.Failures++
-			continue
+	if m.Batch != nil {
+		prompts := make([]rules.Record, len(test))
+		for i, rec := range test {
+			prompts[i] = CoarseOf(rec)
 		}
-		outRecs = append(outRecs, got)
-		preds = append(preds, got[dataset.FineField])
-		truths = append(truths, rec[dataset.FineField])
+		batch, err := m.Batch(prompts, env.Scale.Workers, env.Scale.Seed+1000)
+		if err != nil {
+			return res, err
+		}
+		res.Total = time.Since(start)
+		for i, b := range batch {
+			if b.Err != nil {
+				res.Failures++
+				continue
+			}
+			outRecs = append(outRecs, b.Res.Rec)
+			preds = append(preds, b.Res.Rec[dataset.FineField])
+			truths = append(truths, test[i][dataset.FineField])
+		}
+	} else {
+		rng := rand.New(rand.NewSource(env.Scale.Seed + 1000))
+		for _, rec := range test {
+			known := CoarseOf(rec)
+			got, err := m.Run(known, rng)
+			if err != nil {
+				res.Failures++
+				continue
+			}
+			outRecs = append(outRecs, got)
+			preds = append(preds, got[dataset.FineField])
+			truths = append(truths, rec[dataset.FineField])
+		}
+		res.Total = time.Since(start)
 	}
-	res.Total = time.Since(start)
 	if len(test) > 0 {
 		res.PerRecord = res.Total / time.Duration(len(test))
 		res.Extrap30K = res.PerRecord * 30000

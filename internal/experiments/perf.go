@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rules"
+)
+
+// WorkerPerf is decode throughput at one worker count.
+type WorkerPerf struct {
+	Workers       int     `json:"workers"`
+	TotalMs       float64 `json:"total_ms"`
+	RecordsPerSec float64 `json:"records_per_sec"`
+	Speedup       float64 `json:"speedup_vs_1"`
+}
+
+// PerfReport is the machine-readable performance summary written as
+// BENCH_N.json so future changes can track the hot path's trajectory.
+// All measurements are LeJIT imputation over the mined rule set.
+type PerfReport struct {
+	Records int `json:"records"`
+	Rules   int `json:"rules"`
+	// GoMaxProcs contextualizes the worker sweep: on a single-CPU host
+	// the pool cannot show wall-clock scaling, only determinism.
+	GoMaxProcs     int     `json:"gomaxprocs"`
+	Tokens         int     `json:"tokens"`
+	TokensPerSec   float64 `json:"tokens_per_sec"`
+	ChecksPerToken float64 `json:"solver_checks_per_token"`
+	// OracleHitRate is the fraction of range-feasibility probes served
+	// from the engine's epoch-keyed cache without a solver call.
+	OracleHitRate float64 `json:"oracle_cache_hit_rate"`
+	// WarmStartRate is the fraction of solver Checks that reused the
+	// epoch's memoized propagated base store instead of rebuilding it.
+	WarmStartRate float64      `json:"solver_warm_start_rate"`
+	ByWorkers     []WorkerPerf `json:"by_workers"`
+}
+
+// RunPerf measures LeJIT decode throughput: one serial pass for the
+// per-token counters, then one batched pass per requested worker count
+// (nil → {1, 2, Scale.Workers}). Decoded records are identical across
+// worker counts by the DecodeBatch determinism contract.
+func RunPerf(env *Env, workerCounts []int) (*PerfReport, error) {
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1, 2, env.Scale.Workers}
+	}
+	seen := map[int]bool{}
+	counts := workerCounts[:0:0]
+	for _, w := range workerCounts {
+		if w > 0 && !seen[w] {
+			seen[w] = true
+			counts = append(counts, w)
+		}
+	}
+	workerCounts = counts
+	eng, err := env.EngineFor(env.ImputeRules, core.LeJIT)
+	if err != nil {
+		return nil, err
+	}
+	test := env.TestRecordsN(0)
+	prompts := make([]rules.Record, len(test))
+	for i, rec := range test {
+		prompts[i] = CoarseOf(rec)
+	}
+	rep := &PerfReport{
+		Records:    len(prompts),
+		Rules:      env.ImputeRules.Len(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+
+	// Serial pass: per-token counters and wall time.
+	checksBefore := eng.SolverStats().Checks
+	warmBefore := eng.SolverStats().WarmStarts
+	start := time.Now()
+	batch, err := eng.DecodeBatch(prompts, 1, env.Scale.Seed+4000, nil)
+	if err != nil {
+		return nil, err
+	}
+	serial := time.Since(start)
+	var queries, hits uint64
+	for _, b := range batch {
+		if b.Err != nil {
+			continue
+		}
+		rep.Tokens += b.Res.Stats.Tokens
+		queries += b.Res.Stats.OracleQueries
+		hits += b.Res.Stats.OracleHits
+	}
+	checks := eng.SolverStats().Checks - checksBefore
+	warms := eng.SolverStats().WarmStarts - warmBefore
+	if serial > 0 {
+		rep.TokensPerSec = float64(rep.Tokens) / serial.Seconds()
+	}
+	if rep.Tokens > 0 {
+		rep.ChecksPerToken = float64(checks) / float64(rep.Tokens)
+	}
+	if queries > 0 {
+		rep.OracleHitRate = float64(hits) / float64(queries)
+	}
+	if checks > 0 {
+		rep.WarmStartRate = float64(warms) / float64(checks)
+	}
+
+	var base float64
+	for _, w := range workerCounts {
+		start := time.Now()
+		if _, err := eng.DecodeBatch(prompts, w, env.Scale.Seed+4000, nil); err != nil {
+			return nil, err
+		}
+		total := time.Since(start)
+		wp := WorkerPerf{Workers: w, TotalMs: float64(total.Microseconds()) / 1000}
+		if total > 0 {
+			wp.RecordsPerSec = float64(len(prompts)) / total.Seconds()
+		}
+		if w == 1 || base == 0 {
+			base = wp.RecordsPerSec
+		}
+		if base > 0 {
+			wp.Speedup = wp.RecordsPerSec / base
+		}
+		rep.ByWorkers = append(rep.ByWorkers, wp)
+	}
+	return rep, nil
+}
+
+// WriteJSON writes the report to path, pretty-printed.
+func (r *PerfReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// PerfTable renders the report for the text output.
+func PerfTable(r *PerfReport) Table {
+	t := Table{
+		Title:  "Perf: LeJIT decode throughput (imputation, mined rules)",
+		Header: []string{"records", "tokens/sec", "checks/token", "oracle hit %", "warm-start %"},
+	}
+	t.Rows = append(t.Rows, []string{
+		itoa(r.Records), f1(r.TokensPerSec), f3(r.ChecksPerToken),
+		pct(r.OracleHitRate), pct(r.WarmStartRate),
+	})
+	for _, w := range r.ByWorkers {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("workers=%d", w.Workers), f1(w.RecordsPerSec) + " rec/s",
+			fmt.Sprintf("%.1fms", w.TotalMs), fmt.Sprintf("%.2fx", w.Speedup), "",
+		})
+	}
+	return t
+}

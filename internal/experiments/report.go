@@ -61,6 +61,7 @@ func pad(s string, w int) string {
 }
 
 func pct(v float64) string   { return fmt.Sprintf("%.2f%%", v*100) }
+func f1(v float64) string    { return strconv.FormatFloat(v, 'f', 1, 64) }
 func f3(v float64) string    { return strconv.FormatFloat(v, 'f', 3, 64) }
 func itoa(v int) string      { return strconv.Itoa(v) }
 func itoa64(v uint64) string { return strconv.FormatUint(v, 10) }

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -41,6 +42,10 @@ type ScaleConfig struct {
 
 	Temperature float64 // decoding temperature (default 0.9)
 	Seed        int64
+	// Workers is the decode-worker count for engine-backed methods
+	// (default runtime.GOMAXPROCS(0)). Results are deterministic in Seed
+	// regardless of the value — see core.DecodeBatch.
+	Workers int
 
 	CacheDir string // model cache directory ("" → no caching)
 	Quiet    bool   // suppress progress logging
@@ -114,6 +119,9 @@ func (sc *ScaleConfig) fill() {
 	}
 	if sc.Seed == 0 {
 		sc.Seed = d.Seed
+	}
+	if sc.Workers == 0 {
+		sc.Workers = runtime.GOMAXPROCS(0)
 	}
 }
 

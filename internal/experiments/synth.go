@@ -16,6 +16,18 @@ import (
 type SynthMethod struct {
 	Name string
 	Run  func(rng *rand.Rand) (rules.Record, error)
+	// Batch, when non-nil, draws all samples through core.DecodeBatch
+	// (the GPT-2-backed generators); the fitted statistical generators
+	// stay serial via Run.
+	Batch func(n, workers int, seed int64) ([]core.BatchResult, error)
+}
+
+// genBatcher adapts an engine + decode function to SynthMethod.Batch:
+// n nil prompts mean n unconditional generations.
+func genBatcher(eng *core.Engine, fn core.DecodeFn) func(int, int, int64) ([]core.BatchResult, error) {
+	return func(n, workers int, seed int64) ([]core.BatchResult, error) {
+		return eng.DecodeBatch(make([]rules.Record, n), workers, seed, fn)
+	}
 }
 
 // SynthResult aggregates one generator's run (feeds Fig 5).
@@ -55,15 +67,15 @@ func (e *Env) SynthMethods() ([]SynthMethod, error) {
 		{Name: "Vanilla GPT-2", Run: func(rng *rand.Rand) (rules.Record, error) {
 			res, err := engSynth.Vanilla(nil, rng)
 			return res.Rec, err
-		}},
+		}, Batch: genBatcher(engSynth, (*core.Engine).Vanilla)},
 		{Name: "Rejection Sampling", Run: func(rng *rand.Rand) (rules.Record, error) {
 			res, err := engSynth.Rejection(nil, rng)
 			return res.Rec, err
-		}},
+		}, Batch: genBatcher(engSynth, (*core.Engine).Rejection)},
 		{Name: "REaLTabFormer", Run: func(rng *rand.Rand) (rules.Record, error) {
 			res, err := engStruct.Generate(rng)
 			return res.Rec, err
-		}},
+		}, Batch: genBatcher(engStruct, nil)},
 	}
 
 	gens := []baselines.Generator{
@@ -87,7 +99,7 @@ func (e *Env) SynthMethods() ([]SynthMethod, error) {
 	methods = append(methods, SynthMethod{Name: "LeJIT", Run: func(rng *rand.Rand) (rules.Record, error) {
 		res, err := engSynth.Generate(rng)
 		return res.Rec, err
-	}})
+	}, Batch: genBatcher(engSynth, nil)})
 	return methods, nil
 }
 
@@ -120,20 +132,35 @@ func RunSynthesis(env *Env) ([]SynthResult, error) {
 }
 
 func runOneSynthesis(env *Env, m SynthMethod, ref map[string][]float64) (SynthResult, error) {
-	rng := rand.New(rand.NewSource(env.Scale.Seed + 2000))
 	res := SynthResult{Method: m.Name, Samples: env.Scale.SampleN, JSDPerField: map[string]float64{}}
 
 	var recs []rules.Record
 	start := time.Now()
-	for i := 0; i < env.Scale.SampleN; i++ {
-		rec, err := m.Run(rng)
+	if m.Batch != nil {
+		batch, err := m.Batch(env.Scale.SampleN, env.Scale.Workers, env.Scale.Seed+2000)
 		if err != nil {
-			res.Failures++
-			continue
+			return res, err
 		}
-		recs = append(recs, rec)
+		res.Total = time.Since(start)
+		for _, b := range batch {
+			if b.Err != nil {
+				res.Failures++
+				continue
+			}
+			recs = append(recs, b.Res.Rec)
+		}
+	} else {
+		rng := rand.New(rand.NewSource(env.Scale.Seed + 2000))
+		for i := 0; i < env.Scale.SampleN; i++ {
+			rec, err := m.Run(rng)
+			if err != nil {
+				res.Failures++
+				continue
+			}
+			recs = append(recs, rec)
+		}
+		res.Total = time.Since(start)
 	}
-	res.Total = time.Since(start)
 	if env.Scale.SampleN > 0 {
 		res.PerSample = res.Total / time.Duration(env.Scale.SampleN)
 	}

@@ -17,6 +17,12 @@ type Session struct {
 	// per-layer key/value caches, [Ctx, D] each, filled up to pos.
 	ks, vs []*tensor.Mat
 	logits []float32
+	// Append scratch, allocated once per session. The decode hot path calls
+	// Append once per emitted character, so per-call make() churn dominated
+	// the allocation profile before these were hoisted.
+	x, ln, q, attn, proj, mlp []float32 // [Dim]
+	hbuf, hg                  []float32 // [ff*Dim]
+	p                         []float32 // [Ctx] attention row, used up to pos+1
 }
 
 // NewSession starts an empty decoding session.
@@ -28,7 +34,23 @@ func (m *Model) NewSession() *Session {
 		s.ks[l] = tensor.NewMat(m.Cfg.Ctx, m.Cfg.Dim)
 		s.vs[l] = tensor.NewMat(m.Cfg.Ctx, m.Cfg.Dim)
 	}
+	s.initScratch()
 	return s
+}
+
+// initScratch allocates the per-Append work buffers.
+func (s *Session) initScratch() {
+	d := s.m.Cfg.Dim
+	f := s.m.Cfg.ff() * d
+	s.x = make([]float32, d)
+	s.ln = make([]float32, d)
+	s.q = make([]float32, d)
+	s.attn = make([]float32, d)
+	s.proj = make([]float32, d)
+	s.mlp = make([]float32, d)
+	s.hbuf = make([]float32, f)
+	s.hg = make([]float32, f)
+	s.p = make([]float32, s.m.Cfg.Ctx)
 }
 
 // Len reports the number of tokens consumed.
@@ -50,18 +72,15 @@ func (s *Session) Append(tok int) error {
 	scale := float32(1 / math.Sqrt(float64(dh)))
 	t := s.pos
 
-	x := make([]float32, d)
+	x := s.x
 	copy(x, m.tok.W[tok*d:(tok+1)*d])
 	pos := m.pos.W[t*d : (t+1)*d]
 	for j := range x {
 		x[j] += pos[j]
 	}
 
-	ln := make([]float32, d)
-	q := make([]float32, d)
-	attn := make([]float32, d)
-	hbuf := make([]float32, f)
-	hg := make([]float32, f)
+	ln, q, attn := s.ln, s.q, s.attn
+	hbuf, hg := s.hbuf, s.hg
 	for l := range m.layers {
 		ly := &m.layers[l]
 		tensor.LayerNormRow(ln, x, ly.ln1g.W, ly.ln1b.W)
@@ -80,7 +99,7 @@ func (s *Session) Append(tok int) error {
 		for hd := 0; hd < h; hd++ {
 			off := hd * dh
 			qh := q[off : off+dh]
-			p := make([]float32, t+1)
+			p := s.p[:t+1]
 			for j := 0; j <= t; j++ {
 				p[j] = tensor.Dot(qh, s.ks[l].Row(j)[off:off+dh]) * scale
 			}
@@ -91,7 +110,7 @@ func (s *Session) Append(tok int) error {
 			}
 		}
 
-		proj := make([]float32, d)
+		proj := s.proj
 		vecLinear(proj, attn, ly.wo.W, ly.bo.W, d, d)
 		for j := range x {
 			x[j] += proj[j]
@@ -100,7 +119,7 @@ func (s *Session) Append(tok int) error {
 		tensor.LayerNormRow(ln, x, ly.ln2g.W, ly.ln2b.W)
 		vecLinear(hbuf, ln, ly.w1.W, ly.b1.W, d, f)
 		tensor.GELU(hg, hbuf)
-		mlp := make([]float32, d)
+		mlp := s.mlp
 		vecLinear(mlp, hg, ly.w2.W, ly.b2.W, f, d)
 		for j := range x {
 			x[j] += mlp[j]
@@ -138,6 +157,9 @@ func (s *Session) Clone() *Session {
 		c.ks[l] = s.ks[l].Clone()
 		c.vs[l] = s.vs[l].Clone()
 	}
+	// Fresh scratch: the buffers hold no state between Appends, but sharing
+	// them would race when clones decode concurrently.
+	c.initScratch()
 	return c
 }
 

@@ -119,7 +119,7 @@ func propagate(d *domains, cons []lincon, tightenings *uint64) bool {
 	for {
 		changed := false
 		for i := range cons {
-			ok, ch := propagateOne(d, &cons[i])
+			ok, ch := propagateOne(d, &cons[i], nil)
 			if !ok {
 				return false
 			}
@@ -142,7 +142,9 @@ func propagate(d *domains, cons []lincon, tightenings *uint64) bool {
 //	c_j x_j ≤ rhs − Σ_{i≠j} min(c_i x_i)
 //
 // and tightens x_j accordingly; equalities propagate both directions.
-func propagateOne(d *domains, c *lincon) (ok, changed bool) {
+// When changedVars is non-nil, every variable whose bound moves is appended
+// to it (the worklist propagator uses this to wake watching constraints).
+func propagateOne(d *domains, c *lincon, changedVars *[]Var) (ok, changed bool) {
 	// minSum / maxSum of the left-hand side under current bounds.
 	var minSum, maxSum int64
 	for _, t := range c.terms {
@@ -180,10 +182,13 @@ func propagateOne(d *domains, c *lincon) (ok, changed bool) {
 			return false, false
 		}
 		if ch {
+			if changedVars != nil {
+				*changedVars = append(*changedVars, t.V)
+			}
 			changed = true
 			// Recompute sums after a tightening so later terms use
 			// fresh bounds.
-			return propagateRestart(d, c)
+			return propagateRestart(d, c, changedVars)
 		}
 		if c.eq {
 			// Lower side: c_j x_j ≥ rhs − (maxSum − tMax)
@@ -197,7 +202,10 @@ func propagateOne(d *domains, c *lincon) (ok, changed bool) {
 				return false, false
 			}
 			if ch {
-				return propagateRestart(d, c)
+				if changedVars != nil {
+					*changedVars = append(*changedVars, t.V)
+				}
+				return propagateRestart(d, c, changedVars)
 			}
 		}
 	}
@@ -206,8 +214,8 @@ func propagateOne(d *domains, c *lincon) (ok, changed bool) {
 
 // propagateRestart re-runs propagateOne after a tightening; it reports
 // changed=true unconditionally since a bound moved.
-func propagateRestart(d *domains, c *lincon) (ok, changed bool) {
-	ok, _ = propagateOne(d, c)
+func propagateRestart(d *domains, c *lincon, changedVars *[]Var) (ok, changed bool) {
+	ok, _ = propagateOne(d, c, changedVars)
 	return ok, true
 }
 

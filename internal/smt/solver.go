@@ -41,6 +41,8 @@ type Stats struct {
 	Propagations uint64 // individual bound tightenings
 	Conflicts    uint64 // dead ends reached during search
 	OptQueries   uint64 // Minimize/Maximize invocations
+	BaseBuilds   uint64 // warm-start base stores built (≤ one per epoch)
+	WarmStarts   uint64 // Checks served from a memoized base store
 }
 
 // ErrBudget is returned when the search exceeds its node budget.
@@ -56,7 +58,15 @@ type Solver struct {
 	hi    []int64
 
 	asserted []Formula
-	frames   []int // assertion-stack frame marks for Push/Pop
+	compiled []compiledAssert // parallel to asserted: lowered once at Assert
+	frames   []int            // assertion-stack frame marks for Push/Pop
+
+	// epoch identifies the solver's logical state; it advances on every
+	// NewVar, Assert, and Pop. Anything memoized against an epoch (the
+	// warm-start base store below, callers' oracle caches) is valid
+	// exactly while the epoch is unchanged.
+	epoch uint64
+	base  *baseStore // memoized propagated store for the current epoch
 
 	// MaxNodes bounds the search-tree size per Check; Check returns
 	// Unknown when exceeded. The default is generous for LeJIT-scale
@@ -64,6 +74,74 @@ type Solver struct {
 	MaxNodes uint64
 
 	stats Stats
+
+	// Worklist-propagation scratch, reused across Checks.
+	workQ   []int32
+	inQ     []bool
+	chgVars []Var
+}
+
+// compiledAssert is an asserted formula lowered once at Assert time: NNF
+// applied, atoms normalized into linear constraints, disjunctions collected.
+// unsat marks a formula with a trivially-false conjunct.
+type compiledAssert struct {
+	cons  []lincon
+	disj  []orF
+	unsat bool
+}
+
+// compileAssert lowers f for the propagation engine. The decomposition
+// mirrors the search's pending-formula loop, but runs once per Assert
+// instead of once per Check.
+func compileAssert(f Formula) compiledAssert {
+	var ca compiledAssert
+	pending := []Formula{nnf(f)}
+	for len(pending) > 0 {
+		g := pending[len(pending)-1]
+		pending = pending[:len(pending)-1]
+		switch h := g.(type) {
+		case boolF:
+			if !h.v {
+				return compiledAssert{unsat: true}
+			}
+		case atomF:
+			c, kind := normalizeAtom(h.a)
+			switch kind {
+			case normTrue:
+			case normFalse:
+				return compiledAssert{unsat: true}
+			case normCon:
+				ca.cons = append(ca.cons, c)
+			case normSplit:
+				lt := atomF{Atom{Expr: h.a.Expr, Op: OpLT}}
+				gt := atomF{Atom{Expr: h.a.Expr, Op: OpGT}}
+				ca.disj = append(ca.disj, orF{fs: []Formula{lt, gt}})
+			}
+		case andF:
+			pending = append(pending, h.fs...)
+		case orF:
+			ca.disj = append(ca.disj, h)
+		case notF:
+			// nnf leaves no notF nodes; defensive.
+			pending = append(pending, nnf(h))
+		}
+	}
+	return ca
+}
+
+// baseStore memoizes the assertion-stack-dependent part of a Check: the
+// union of all compiled assertions plus the root domains propagated once to
+// fixpoint. CheckWith warm-starts every probe of the same epoch from here
+// instead of recompiling and re-propagating the whole stack.
+type baseStore struct {
+	epoch    uint64
+	conflict bool // the assertions alone are Unsat
+	dom      *domains
+	cons     []lincon
+	disj     []orF
+	// watch[v] lists the indices of cons containing variable v, so a probe
+	// that tightens v wakes only the constraints that can react.
+	watch [][]int32
 }
 
 // NewSolver returns an empty solver.
@@ -82,6 +160,7 @@ func (s *Solver) NewVar(name string, lo, hi int64) Var {
 	s.names = append(s.names, name)
 	s.lo = append(s.lo, lo)
 	s.hi = append(s.hi, hi)
+	s.epoch++
 	return v
 }
 
@@ -94,9 +173,12 @@ func (s *Solver) VarName(v Var) string { return s.names[v] }
 // Bounds returns the declared domain of v.
 func (s *Solver) Bounds(v Var) (lo, hi int64) { return s.lo[v], s.hi[v] }
 
-// Assert adds f to the current assertion frame.
+// Assert adds f to the current assertion frame. The formula is compiled
+// (NNF + atom normalization) once, here, not on every Check.
 func (s *Solver) Assert(f Formula) {
 	s.asserted = append(s.asserted, f)
+	s.compiled = append(s.compiled, compileAssert(f))
+	s.epoch++
 }
 
 // Push opens a new assertion frame.
@@ -113,7 +195,14 @@ func (s *Solver) Pop() {
 	mark := s.frames[len(s.frames)-1]
 	s.frames = s.frames[:len(s.frames)-1]
 	s.asserted = s.asserted[:mark]
+	s.compiled = s.compiled[:mark]
+	s.epoch++
 }
+
+// Epoch identifies the solver's logical state: it advances on every NewVar,
+// Assert, and Pop, and is stable across Check/CheckWith. Callers may key
+// memoized query results by it (LeJIT's range-feasibility oracle cache does).
+func (s *Solver) Epoch() uint64 { return s.epoch }
 
 // NumAssertions reports the number of currently active assertions.
 func (s *Solver) NumAssertions() int { return len(s.asserted) }
@@ -127,23 +216,154 @@ func (s *Solver) Check() Result {
 }
 
 // CheckWith decides satisfiability of the active assertions conjoined with
-// extra, without mutating the assertion stack.
+// extra, without mutating the assertion stack. The assertions themselves are
+// not reprocessed: the check warm-starts from the epoch's memoized base
+// store and only compiles the extra formulas.
 func (s *Solver) CheckWith(extra ...Formula) Result {
 	s.stats.Checks++
+	base := s.currentBase()
+	if base.conflict {
+		s.stats.Conflicts++
+		return Result{Status: Unsat}
+	}
+	cons := capCons(base.cons)
+	disj := capDisj(base.disj)
+	for _, f := range extra {
+		ca := compileAssert(f)
+		if ca.unsat {
+			s.stats.Conflicts++
+			return Result{Status: Unsat}
+		}
+		cons = append(cons, ca.cons...)
+		disj = append(disj, ca.disj...)
+	}
 	st := &searchState{
-		dom:   newDomains(s.lo, s.hi),
+		dom:   base.dom.clone(),
 		solv:  s,
 		limit: s.MaxNodes,
 	}
-	pending := make([]Formula, 0, len(s.asserted)+len(extra))
-	for _, f := range s.asserted {
-		pending = append(pending, nnf(f))
+	// The base domains are at fixpoint with the base constraints, so only
+	// the extras (and whatever they disturb) need propagating; the search's
+	// own first full propagation pass is then redundant and skipped.
+	st.watch = base.watch
+	st.watchN = len(base.cons)
+	if len(cons) > len(base.cons) {
+		if !s.propagateWakeup(st.dom, cons, base.watch, len(base.cons), len(base.cons), nil) {
+			s.stats.Conflicts++
+			return Result{Status: Unsat}
+		}
 	}
-	for _, f := range extra {
-		pending = append(pending, nnf(f))
-	}
-	status, model := st.search(pending, nil, nil)
+	st.skipProp = true
+	status, model := st.search(nil, cons, disj)
 	return Result{Status: status, Model: model}
+}
+
+// currentBase returns the memoized base store for the current epoch,
+// building it on the first Check after a mutation. Propagating the asserted
+// constraints here is sound for every subsequent probe: bounds propagation
+// only removes values that no model of the assertions can take, and extra
+// formulas only shrink the model set further.
+func (s *Solver) currentBase() *baseStore {
+	if s.base != nil && s.base.epoch == s.epoch {
+		s.stats.WarmStarts++
+		return s.base
+	}
+	s.stats.BaseBuilds++
+	b := &baseStore{epoch: s.epoch}
+	var nc, nd int
+	for i := range s.compiled {
+		nc += len(s.compiled[i].cons)
+		nd += len(s.compiled[i].disj)
+	}
+	b.cons = make([]lincon, 0, nc)
+	b.disj = make([]orF, 0, nd)
+	for i := range s.compiled {
+		ca := &s.compiled[i]
+		if ca.unsat {
+			b.conflict = true
+		}
+		b.cons = append(b.cons, ca.cons...)
+		b.disj = append(b.disj, ca.disj...)
+	}
+	b.dom = newDomains(s.lo, s.hi)
+	if !b.conflict && !propagate(b.dom, b.cons, &s.stats.Propagations) {
+		b.conflict = true
+	}
+	if !b.conflict {
+		b.watch = make([][]int32, len(s.lo))
+		for i := range b.cons {
+			for _, t := range b.cons[i].terms {
+				b.watch[t.V] = append(b.watch[t.V], int32(i))
+			}
+		}
+	}
+	s.base = b
+	return b
+}
+
+// propagateWakeup runs worklist propagation over cons, assuming d is already
+// at fixpoint with respect to cons[:newFrom] except for variables listed in
+// dirty (mutated directly by a domain split). Seeds are the new constraints
+// cons[newFrom:] plus the watchers of every dirty variable. When a
+// constraint tightens a variable, the constraints containing that variable
+// are re-queued — via the epoch's watch index for cons[:watchN], by linear
+// scan for the (few) constraints added during this Check's search. This
+// makes the cost of a node proportional to the constraints it actually
+// disturbs instead of the whole assertion stack.
+func (s *Solver) propagateWakeup(d *domains, cons []lincon, watch [][]int32, watchN, newFrom int, dirty []Var) bool {
+	if cap(s.inQ) < len(cons) {
+		s.inQ = make([]bool, len(cons))
+	}
+	inQ := s.inQ[:len(cons)]
+	clear(inQ)
+	q := s.workQ[:0]
+	enqueueVar := func(v Var) {
+		for _, j := range watch[v] {
+			if !inQ[j] {
+				inQ[j] = true
+				q = append(q, j)
+			}
+		}
+		for j := watchN; j < len(cons); j++ {
+			if inQ[j] {
+				continue
+			}
+			for _, t := range cons[j].terms {
+				if t.V == v {
+					inQ[j] = true
+					q = append(q, int32(j))
+					break
+				}
+			}
+		}
+	}
+	for _, v := range dirty {
+		enqueueVar(v)
+	}
+	for i := newFrom; i < len(cons); i++ {
+		if !inQ[i] {
+			inQ[i] = true
+			q = append(q, int32(i))
+		}
+	}
+	chg := s.chgVars[:0]
+	ok := true
+	for head := 0; head < len(q); head++ {
+		i := q[head]
+		inQ[i] = false
+		chg = chg[:0]
+		okOne, _ := propagateOne(d, &cons[i], &chg)
+		if !okOne {
+			ok = false
+			break
+		}
+		s.stats.Propagations += uint64(len(chg))
+		for _, v := range chg {
+			enqueueVar(v)
+		}
+	}
+	s.workQ, s.chgVars = q[:0], chg[:0]
+	return ok
 }
 
 // searchState carries per-Check search bookkeeping shared across branches.
@@ -152,6 +372,18 @@ type searchState struct {
 	solv  *Solver
 	nodes uint64
 	limit uint64
+	// watch is the epoch's var→constraint index covering cons[:watchN]
+	// (the warm-started base); constraints beyond watchN were added during
+	// this Check and are found by scan.
+	watch  [][]int32
+	watchN int
+	// skipProp marks the domains already at fixpoint with the constraints
+	// handed to the next search call (warm-started probes); consumed once.
+	skipProp bool
+	// dirtyVar is the variable a domain split just narrowed; the next
+	// search call seeds propagation from its watchers. Consumed once.
+	dirtyVar Var
+	hasDirty bool
 }
 
 // search is the DPLL core. pending holds formulas not yet decomposed; cons
@@ -166,6 +398,7 @@ func (st *searchState) search(pending []Formula, cons []lincon, disj []orF) (Sta
 	}
 
 	d := st.dom
+	consIn := len(cons)
 
 	// Decompose pending formulas into constraints and disjunctions.
 	for len(pending) > 0 {
@@ -201,10 +434,26 @@ func (st *searchState) search(pending []Formula, cons []lincon, disj []orF) (Sta
 		}
 	}
 
-	// Propagate to fixpoint.
-	if !propagate(d, cons, &st.solv.stats.Propagations) {
-		st.solv.stats.Conflicts++
-		return Unsat, nil
+	// Propagate to fixpoint (unless the caller already did). The incoming
+	// domains are at fixpoint with the incoming constraints — the parent
+	// node propagated before branching — so only the decomposed additions
+	// and the split variable's watchers need waking.
+	if st.skipProp {
+		st.skipProp = false
+	} else {
+		var dirty []Var
+		var dbuf [1]Var
+		if st.hasDirty {
+			dbuf[0] = st.dirtyVar
+			dirty = dbuf[:]
+			st.hasDirty = false
+		}
+		if len(cons) > consIn || dirty != nil {
+			if !st.solv.propagateWakeup(d, cons, st.watch, st.watchN, consIn, dirty) {
+				st.solv.stats.Conflicts++
+				return Unsat, nil
+			}
+		}
 	}
 
 	// Simplify disjunctions under the tightened bounds: drop entailed
@@ -266,7 +515,7 @@ func (st *searchState) search(pending []Formula, cons []lincon, disj []orF) (Sta
 		rest = append(rest, disj[pick+1:]...)
 		for _, alt := range g.fs {
 			saved := d.clone()
-			status, model := st.search([]Formula{alt}, cloneCons(cons), cloneDisj(rest))
+			status, model := st.search([]Formula{alt}, capCons(cons), capDisj(rest))
 			if status == Sat || status == Unknown {
 				return status, model
 			}
@@ -302,7 +551,8 @@ func (st *searchState) search(pending []Formula, cons []lincon, disj []orF) (Sta
 	for _, half := range [2][2]int64{{lo, mid}, {mid + 1, hi}} {
 		saved := d.clone()
 		d.lo[v], d.hi[v] = half[0], half[1]
-		status, model := st.search(nil, cloneCons(cons), nil)
+		st.dirtyVar, st.hasDirty = v, true
+		status, model := st.search(nil, capCons(cons), nil)
 		if status == Sat || status == Unknown {
 			return status, model
 		}
@@ -314,7 +564,7 @@ func (st *searchState) search(pending []Formula, cons []lincon, disj []orF) (Sta
 
 // searchUnit asserts a unit-propagated disjunct and continues.
 func (st *searchState) searchUnit(f Formula, cons []lincon, disj []orF) (Status, map[Var]int64) {
-	return st.search([]Formula{f}, cloneCons(cons), cloneDisj(disj))
+	return st.search([]Formula{f}, capCons(cons), capDisj(disj))
 }
 
 // indexAfter finds g in disj (by slice position identity of fs) and returns
@@ -329,13 +579,15 @@ func indexAfter(disj []orF, g orF) int {
 	return len(disj)
 }
 
-func cloneCons(cons []lincon) []lincon {
-	return append([]lincon(nil), cons...)
-}
+// capCons and capDisj cap a slice's capacity at its length, so sibling
+// branches that receive the same store share the parent's backing array
+// read-only and reallocate only when they append (copy-on-write). Elements
+// are never mutated in place during search, which makes the sharing safe —
+// and it replaces a full store copy per branch with a three-word slice
+// header.
+func capCons(cons []lincon) []lincon { return cons[:len(cons):len(cons)] }
 
-func cloneDisj(disj []orF) []orF {
-	return append([]orF(nil), disj...)
-}
+func capDisj(disj []orF) []orF { return disj[:len(disj):len(disj)] }
 
 // pickBranchVar selects the unfixed constrained variable with the smallest
 // domain (first-fail heuristic), or InvalidVar if all are fixed.

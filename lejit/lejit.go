@@ -264,11 +264,12 @@ func (p *Pipeline) ImputeBeam(known Record, width int) (Record, Stats, error) {
 	return res.Rec, res.Stats, err
 }
 
-// ImputeBatch decodes many prompts in parallel (workers ≤ 0 → 1), returning
-// per-prompt records and errors in prompt order. Deterministic in seed
-// regardless of worker count.
+// ImputeBatch decodes many prompts in parallel (workers ≤ 0 → GOMAXPROCS),
+// returning per-prompt records and errors in prompt order. Deterministic in
+// seed regardless of worker count. The pipeline's engine is reused: worker
+// clones share its compiled rule formula, so spin-up is cheap.
 func (p *Pipeline) ImputeBatch(prompts []Record, workers int, seed int64) ([]Record, []error, error) {
-	out, err := core.BatchImpute(p.cfg, prompts, workers, seed)
+	out, err := p.eng.DecodeBatch(prompts, workers, seed, nil)
 	if err != nil {
 		return nil, nil, err
 	}
