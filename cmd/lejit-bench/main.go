@@ -15,12 +15,21 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/experiments"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lejit-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	scale := flag.String("scale", "default", "default|tiny")
 	figs := flag.String("fig", "all", "comma-separated: 3l,3r,4l,4r,5,abl,perf (or all)")
 	testN := flag.Int("testn", 0, "override test-record count")
@@ -32,8 +41,36 @@ func main() {
 	seed := flag.Int64("seed", 0, "override seed")
 	workers := flag.Int("workers", 0, "decode workers for batched methods (0 = GOMAXPROCS)")
 	jsonOut := flag.String("json", "", "write the perf report to this file (e.g. BENCH_1.json)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	quiet := flag.Bool("q", false, "suppress progress logs")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "lejit-bench: -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "lejit-bench: -memprofile:", err)
+			}
+		}()
+	}
 
 	var sc experiments.ScaleConfig
 	switch *scale {
@@ -42,8 +79,7 @@ func main() {
 	case "tiny":
 		sc = experiments.TinyScale()
 	default:
-		fmt.Fprintf(os.Stderr, "lejit-bench: unknown scale %q\n", *scale)
-		os.Exit(2)
+		return fmt.Errorf("unknown scale %q", *scale)
 	}
 	if *testN > 0 {
 		sc.TestN = *testN
@@ -77,7 +113,7 @@ func main() {
 
 	env, err := experiments.Prepare(sc)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	fmt.Printf("# LeJIT benchmark — scale=%s racks=%d windows/rack=%d testN=%d sampleN=%d\n",
 		*scale, sc.Racks, sc.WindowsPerRack, sc.TestN, sc.SampleN)
@@ -87,7 +123,7 @@ func main() {
 	if all || want["3l"] || want["3r"] || want["4l"] || want["4r"] {
 		rs, err := experiments.RunImputation(env)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if all || want["3l"] {
 			fmt.Println(experiments.Fig3LeftTable(rs).Render())
@@ -105,7 +141,7 @@ func main() {
 	if all || want["5"] {
 		ss, err := experiments.RunSynthesis(env)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Println(experiments.Fig5Table(ss).Render())
 		fmt.Println(experiments.Fig5RuntimeTable(ss).Render())
@@ -113,36 +149,35 @@ func main() {
 	if all || want["abl"] {
 		ab, err := experiments.RunRuleSetSizeAblation(env, nil)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Println(experiments.AblationTable("Ablation: rule-set size sweep (violations measured vs the FULL mined set)", ab).Render())
 		cb, err := experiments.RunCacheAblation(env)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Println(experiments.AblationTable("Ablation: per-slot oracle cache", cb).Render())
 		db, err := experiments.RunDecodeStrategyAblation(env, nil)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Println(experiments.AblationTable("Ablation: decoding strategy (sampling vs greedy vs beam)", db).Render())
 	}
 	if all || want["perf"] || *jsonOut != "" {
 		rep, err := experiments.RunPerf(env, nil)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Println(experiments.PerfTable(rep).Render())
+		if rep.Warning != "" {
+			fmt.Printf("# warning: %s\n", rep.Warning)
+		}
 		if *jsonOut != "" {
 			if err := rep.WriteJSON(*jsonOut); err != nil {
-				fatal(err)
+				return err
 			}
 			fmt.Printf("# perf report written to %s\n", *jsonOut)
 		}
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "lejit-bench:", err)
-	os.Exit(1)
+	return nil
 }

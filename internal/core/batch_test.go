@@ -170,10 +170,29 @@ func TestCloneSharesCompiledRules(t *testing.T) {
 }
 
 // TestOracleCacheStats checks the epoch-keyed oracle cache is live (hits on
-// repeat probes) and fully disabled under NoOracleCache.
+// repeat probes) and fully disabled under NoOracleCache. The interval fast
+// path is switched off: with it on, repeat probes are answered from interval
+// state before they reach the cache (see TestIntervalFastPathStats).
 func TestOracleCacheStats(t *testing.T) {
-	e := testEngine(t, uniformLM{vocab: vocab.Telemetry().Size()}, LeJIT)
-	res, err := e.Impute(rules.Record{"TotalIngress": {120}, "Congestion": {10}}, rand.New(rand.NewSource(2)))
+	schema := testSchema(t)
+	rs, err := rules.ParseRuleSet(testRules, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkEngine := func(noCache bool) *Engine {
+		t.Helper()
+		e, err := NewEngine(Config{
+			LM: uniformLM{vocab: vocab.Telemetry().Size()}, Tok: vocab.Telemetry(),
+			Schema: schema, Rules: rs, Slots: testGrammar(t, schema), Mode: LeJIT,
+			NoIntervalFastPath: true, NoOracleCache: noCache,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+
+	res, err := mkEngine(false).Impute(rules.Record{"TotalIngress": {120}, "Congestion": {10}}, rand.New(rand.NewSource(2)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,21 +208,11 @@ func TestOracleCacheStats(t *testing.T) {
 	if res.Stats.SolverChecks == 0 {
 		t.Error("no solver checks recorded")
 	}
+	if res.Stats.OracleFastPath != 0 {
+		t.Errorf("fast path disabled but answered %d probes", res.Stats.OracleFastPath)
+	}
 
-	schema := testSchema(t)
-	rs, err := rules.ParseRuleSet(testRules, schema)
-	if err != nil {
-		t.Fatal(err)
-	}
-	noCache, err := NewEngine(Config{
-		LM: uniformLM{vocab: vocab.Telemetry().Size()}, Tok: vocab.Telemetry(),
-		Schema: schema, Rules: rs, Slots: testGrammar(t, schema), Mode: LeJIT,
-		NoOracleCache: true,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	res2, err := noCache.Impute(rules.Record{"TotalIngress": {120}, "Congestion": {10}}, rand.New(rand.NewSource(2)))
+	res2, err := mkEngine(true).Impute(rules.Record{"TotalIngress": {120}, "Congestion": {10}}, rand.New(rand.NewSource(2)))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -127,6 +127,16 @@ type Config struct {
 	// NoOracleCache disables per-slot memoization of range-feasibility
 	// queries (ablation: measures how much the cache saves, DESIGN.md §3).
 	NoOracleCache bool
+	// NoIntervalFastPath disables the per-slot interval fast path
+	// (DESIGN.md §6), forcing every range probe through the solver as the
+	// seed implementation did. Ablation knob; decoded output is identical
+	// either way.
+	NoIntervalFastPath bool
+	// ValidateFastPath cross-checks every fast-path answer against a real
+	// solver probe, counting disagreements in Stats.FastPathMismatches.
+	// Debugging/verification mode: it defeats the fast path's purpose and
+	// inflates SolverChecks.
+	ValidateFastPath bool
 	// TraceHook, when set, receives one TraceStep per guided decoding
 	// step — the observability channel for debugging rule interactions
 	// and for demonstrating minimal invasiveness. Not invoked by the
@@ -148,6 +158,13 @@ type Stats struct {
 	// epoch-keyed cache without a solver call.
 	OracleQueries uint64
 	OracleHits    uint64
+	// OracleFastPath counts probes answered locally from the slot's
+	// interval state (no solver call, no cache lookup); OracleProbes counts
+	// probes that reached the solver. FastPathMismatches counts
+	// ValidateFastPath disagreements — nonzero means a soundness bug.
+	OracleFastPath     uint64
+	OracleProbes       uint64
+	FastPathMismatches uint64
 	// LogProb is the renormalized log-probability of the returned token
 	// sequence (filled by BeamImpute; 0 for samplers).
 	LogProb float64
@@ -200,6 +217,16 @@ type Engine struct {
 	// so no explicit invalidation is needed. Reset per record in guided()
 	// to bound growth.
 	oracleCache map[oracleKey]bool
+	// lastModel is the most recent model the solver produced, valid while
+	// the epoch matches lastModelEpoch; it seeds each slot oracle's witness
+	// so a slot's first probe (HasPath) usually costs no solver check.
+	lastModel      map[smt.Var]int64
+	lastModelEpoch uint64
+	// varConjuncts indexes the rule formula's top-level conjuncts by the
+	// variables they mention, built lazily on the first model-patching
+	// attempt (oracle.go). Shared across records: the rule formula never
+	// changes after construction.
+	varConjuncts map[smt.Var][]smt.Formula
 }
 
 // oracleKey identifies one range-feasibility query against one solver state.

@@ -58,10 +58,13 @@ func (e *Engine) guided(known rules.Record, rng *rand.Rand) (Result, error) {
 			e.solver.Assert(smt.Eq(smt.V(bv[i]), smt.C(v)))
 		}
 	}
-	if r := e.solver.Check(); r.Status != smt.Sat {
+	r := e.solver.Check()
+	if r.Status != smt.Sat {
 		res.Stats.SolverChecks = e.solver.Stats().Checks - checksBefore
 		return res, ErrInfeasible{Detail: fmt.Sprintf("prompt %q (%v)", prompt, r.Status)}
 	}
+	// The feasibility model doubles as the first slot's witness seed.
+	e.noteModel(r.Model)
 
 	sess, err := e.newPromptedSession(prompt)
 	if err != nil {
@@ -79,6 +82,12 @@ func (e *Engine) guided(known rules.Record, rng *rand.Rand) (Result, error) {
 		// Dynamic partial instantiation: pin the completed value so the
 		// solver's view of active rules advances with generation.
 		e.solver.Assert(smt.Eq(smt.V(e.slotVar(slot)), smt.C(v)))
+		// If the last model already assigned the pinned value, it remains a
+		// model of the extended stack: revalidate it for the new epoch so
+		// the next slot starts with a witness.
+		if e.lastModel != nil && e.lastModel[e.slotVar(slot)] == v {
+			e.lastModelEpoch = e.solver.Epoch()
+		}
 	}
 	res.Rec = e.assemble(known, fromSlot, vals)
 	res.Stats.SolverChecks = e.solver.Stats().Checks - checksBefore
@@ -90,34 +99,19 @@ func (e *Engine) generateValue(slot Slot, sess Session, rng *rand.Rand, st *Stat
 	f, _ := e.cfg.Schema.Field(slot.Field)
 	v := e.slotVar(slot)
 
-	var oracle transition.Oracle
+	var sys *transition.System
 	if e.cfg.Mode == StructureOnly || e.cfg.Rules == nil {
 		lo, hi := f.Lo, f.Hi
-		oracle = func(qlo, qhi int64) bool { return qlo <= hi && lo <= qhi }
+		sys = transition.New(e.maxDigits[slot.Field],
+			func(qlo, qhi int64) bool { return qlo <= hi && lo <= qhi })
 	} else {
-		// Probes are memoized on the engine, keyed by solver epoch: the
-		// assertion stack only changes when a value completes, so every
-		// probe of this slot — and of any later re-probe under the same
-		// stack — is served from one cache generation.
-		oracle = func(qlo, qhi int64) bool {
-			st.OracleQueries++
-			var key oracleKey
-			if !e.cfg.NoOracleCache {
-				key = oracleKey{epoch: e.solver.Epoch(), v: v, lo: qlo, hi: qhi}
-				if sat, ok := e.oracleCache[key]; ok {
-					st.OracleHits++
-					return sat
-				}
-			}
-			r := e.solver.CheckWith(smt.Ge(smt.V(v), smt.C(qlo)), smt.Le(smt.V(v), smt.C(qhi)))
-			sat := r.Status == smt.Sat
-			if !e.cfg.NoOracleCache {
-				e.oracleCache[key] = sat
-			}
-			return sat
-		}
+		// The slot oracle answers probes from per-slot interval state
+		// (oracle.go) and falls back to epoch-cached solver probes; batching
+		// lets it drain a candidate's whole completion union locally before
+		// any solver work.
+		so := e.newSlotOracle(v, st)
+		sys = transition.NewBatch(e.maxDigits[slot.Field], so.Feasible, so.FeasibleAny)
 	}
-	sys := transition.New(e.maxDigits[slot.Field], oracle)
 	if !sys.HasPath() {
 		return 0, ErrInfeasible{Detail: fmt.Sprintf("no feasible value for %s[%d]", slot.Field, slot.Index)}
 	}

@@ -1,0 +1,425 @@
+package core
+
+import (
+	"repro/internal/smt"
+)
+
+// slotOracle answers the transition system's range-feasibility probes for
+// one slot — one solver epoch — keeping enough interval state to resolve
+// most probes without a solver call (the interval fast path, DESIGN.md §6).
+//
+// Invariants maintained per slot, all sound with respect to the current
+// assertion stack:
+//
+//   - [kLo, kHi] is a superset of the slot variable's feasible set. It
+//     starts at the solver's propagated root bounds (BaseBounds) and, for
+//     convex slots, tightens when an unsat probe proves a side empty. A
+//     probe range disjoint from it is infeasible — answered locally.
+//   - Witnesses are values proven feasible by an actual solver model. For
+//     convex slots (no live disjunction reaches the variable, see
+//     smt.VarDisjunctionTainted) the whole span [wLo, wHi] between the
+//     extreme witnesses is feasible, so any probe intersecting it is
+//     feasible — answered locally. For tainted slots only exact witnessed
+//     values count.
+//
+// Probes the intervals cannot decide first try model patching
+// (patchFeasible): certifying a value by ground-evaluating the affected
+// rule conjuncts against the engine's current model. Everything else falls
+// back to a real CheckWith probe, whose outcome (model or refutation) feeds
+// the state above, so the fallback rate decays as the slot's digits are
+// generated.
+type slotOracle struct {
+	e  *Engine
+	st *Stats
+	v  smt.Var
+
+	infeasible bool  // the assertions conflict: nothing is feasible
+	convex     bool  // feasible set proven hole-free: interval reasoning ok
+	kLo, kHi   int64 // no feasible value lies outside [kLo, kHi]
+	hasW       bool
+	wLo, wHi   int64   // extreme witnessed-feasible values
+	wvals      []int64 // individual witnesses (tainted slots only)
+
+	undecided [][2]int64 // FeasibleAny scratch
+}
+
+// newSlotOracle builds the oracle for slot variable v at the current epoch.
+// Costs zero solver checks: the bounds come from the epoch's propagated base
+// store, and the witness (when available) from the last model the engine saw.
+func (e *Engine) newSlotOracle(v smt.Var, st *Stats) *slotOracle {
+	o := &slotOracle{e: e, st: st, v: v}
+	lo, hi, ok := e.solver.BaseBounds(v)
+	if !ok {
+		o.infeasible = true
+		return o
+	}
+	o.kLo, o.kHi = lo, hi
+	o.convex = !e.solver.VarDisjunctionTainted(v)
+	if e.lastModel != nil && e.lastModelEpoch == e.solver.Epoch() {
+		if mv, found := e.lastModel[v]; found {
+			o.addWitness(mv)
+		}
+	}
+	return o
+}
+
+// addWitness records a feasible value harvested from a solver model.
+func (o *slotOracle) addWitness(x int64) {
+	if !o.hasW {
+		o.hasW, o.wLo, o.wHi = true, x, x
+	} else {
+		if x < o.wLo {
+			o.wLo = x
+		}
+		if x > o.wHi {
+			o.wHi = x
+		}
+	}
+	if !o.convex {
+		for _, w := range o.wvals {
+			if w == x {
+				return
+			}
+		}
+		o.wvals = append(o.wvals, x)
+	}
+}
+
+// noteUnsat tightens the known envelope after a proven-infeasible probe.
+// Convex slots only: with the feasible set one interval [A, B] containing
+// the witnesses, an unsat range ending below wLo forces A > hi (otherwise
+// hi itself, between A and wLo ≤ B, would be feasible); symmetrically for
+// ranges starting above wHi.
+func (o *slotOracle) noteUnsat(lo, hi int64) {
+	if !o.convex || !o.hasW {
+		return
+	}
+	if hi < o.wLo && hi+1 > o.kLo {
+		o.kLo = hi + 1
+	}
+	if lo > o.wHi && lo-1 < o.kHi {
+		o.kHi = lo - 1
+	}
+}
+
+// answerLocal resolves a probe from interval state alone:
+// +1 feasible, -1 infeasible, 0 unknown (needs the solver).
+func (o *slotOracle) answerLocal(lo, hi int64) int {
+	if o.infeasible || hi < o.kLo || lo > o.kHi {
+		return -1
+	}
+	if o.hasW {
+		if o.convex {
+			if lo <= o.wHi && hi >= o.wLo {
+				return 1
+			}
+		} else {
+			for _, w := range o.wvals {
+				if lo <= w && w <= hi {
+					return 1
+				}
+			}
+		}
+	}
+	return 0
+}
+
+// probe issues the real solver query (through the epoch-keyed cache) and
+// feeds the outcome back into the interval state.
+func (o *slotOracle) probe(qlo, qhi int64) bool {
+	e := o.e
+	var key oracleKey
+	if !e.cfg.NoOracleCache {
+		key = oracleKey{epoch: e.solver.Epoch(), v: o.v, lo: qlo, hi: qhi}
+		if sat, ok := e.oracleCache[key]; ok {
+			o.st.OracleHits++
+			return sat
+		}
+	}
+	r := e.solver.CheckWith(smt.Ge(smt.V(o.v), smt.C(qlo)), smt.Le(smt.V(o.v), smt.C(qhi)))
+	o.st.OracleProbes++
+	sat := r.Status == smt.Sat
+	if sat {
+		e.noteModel(r.Model)
+		o.addWitness(r.Model[o.v])
+	} else if r.Status == smt.Unsat {
+		o.noteUnsat(qlo, qhi)
+	}
+	if !e.cfg.NoOracleCache {
+		e.oracleCache[key] = sat
+	}
+	return sat
+}
+
+// patchFeasible tries to certify some value in [lo, hi] feasible by model
+// patching, without a solver call. The engine's lastModel — when its epoch
+// matches — is a complete satisfying assignment for the live assertion
+// stack. Setting M[v] = x can only change the truth of conjuncts that
+// mention v, and those are exactly the rule formula's (pinned and known
+// values are asserted as equalities over other, already-fixed variables).
+// So: clamp a candidate x into the probe range intersected with the known
+// envelope (which keeps x inside v's declared domain — BaseBounds only ever
+// tightens it), patch M[v] = x, and ground-evaluate the v-mentioning rule
+// conjuncts. If all hold, the patched M is again a full model: x is
+// feasible, the patch is kept (refreshing the witness chain for later
+// slots), and the probe is answered with zero solver work.
+//
+// Only a positive answer is possible here; refutation still needs the
+// solver. Candidates are the clamped model value first (for a tainted slot
+// this is usually the exact probed digit value), then the opposite end of
+// the clamped range.
+func (o *slotOracle) patchFeasible(lo, hi int64) bool {
+	e := o.e
+	if e.lastModel == nil || e.lastModelEpoch != e.solver.Epoch() {
+		return false
+	}
+	m, ok := e.lastModel[o.v]
+	if !ok {
+		return false
+	}
+	if lo < o.kLo {
+		lo = o.kLo
+	}
+	if hi > o.kHi {
+		hi = o.kHi
+	}
+	if lo > hi {
+		return false
+	}
+	x := m
+	if x < lo {
+		x = lo
+	} else if x > hi {
+		x = hi
+	}
+	if o.tryPatch(x) {
+		return true
+	}
+	if lo != hi {
+		y := lo
+		if x == lo {
+			y = hi
+		}
+		return o.tryPatch(y)
+	}
+	return false
+}
+
+// tryPatch attempts M[v] = x: evaluates every rule conjunct mentioning v
+// under the patched model, keeping the patch on success and rolling it back
+// on any failure (including an evaluation error, which would mean the model
+// is not complete over the conjunct's variables — treated as "cannot
+// certify", never as feasible).
+func (o *slotOracle) tryPatch(x int64) bool {
+	e := o.e
+	old := e.lastModel[o.v]
+	if x == old {
+		// lastModel already satisfies the stack with this value.
+		o.addWitness(x)
+		return true
+	}
+	e.lastModel[o.v] = x
+	var broken smt.Formula
+	ok := true
+	for _, c := range e.conjunctsOn(o.v) {
+		sat, err := smt.EvalFormula(c, e.lastModel)
+		if err != nil {
+			ok, broken = false, nil
+			break
+		}
+		if !sat {
+			if broken != nil {
+				// Two independent conjuncts broken: repair would need to
+				// move two more variables. Leave it to the solver.
+				ok, broken = false, nil
+				break
+			}
+			ok, broken = false, c
+		}
+	}
+	if ok || (broken != nil && o.repair(broken)) {
+		o.addWitness(x)
+		return true
+	}
+	e.lastModel[o.v] = old
+	return false
+}
+
+// repair restores a single broken linear-equality conjunct — typically a
+// coupling constraint like TotalIngress = sum(I) — by shifting the patch's
+// residual onto one other adjustable variable in the same atom, then
+// re-validating every conjunct that variable appears in. A variable is
+// adjustable when its propagated base bounds leave slack (pinned and
+// propagation-fixed variables have lo == hi and are skipped), which also
+// keeps the shifted value inside its declared domain. On success the model
+// differs from a known-satisfying one in exactly {v, u}, and every conjunct
+// mentioning either has been re-evaluated true: the patched model is again
+// a full model.
+func (o *slotOracle) repair(broken smt.Formula) bool {
+	e := o.e
+	a, isAtom := smt.AtomOf(broken)
+	if !isAtom || a.Op != smt.OpEQ {
+		return false
+	}
+	resid, err := a.Expr.Eval(e.lastModel)
+	if err != nil || resid == 0 {
+		return false
+	}
+	for _, u := range a.Expr.Vars() {
+		if u == o.v {
+			continue
+		}
+		cu := a.Expr.Coef(u)
+		if cu == 0 || resid%cu != 0 {
+			continue
+		}
+		lo, hi, okB := e.solver.BaseBounds(u)
+		if !okB || lo == hi {
+			continue
+		}
+		oldU := e.lastModel[u]
+		newU := oldU - resid/cu
+		if newU < lo || newU > hi {
+			continue
+		}
+		e.lastModel[u] = newU
+		good := true
+		for _, c := range e.conjunctsOn(u) {
+			sat, err := smt.EvalFormula(c, e.lastModel)
+			if err != nil || !sat {
+				good = false
+				break
+			}
+		}
+		if good {
+			return true
+		}
+		e.lastModel[u] = oldU
+	}
+	return false
+}
+
+// crossCheck verifies a fast-path answer against the solver (the
+// Config.ValidateFastPath debugging mode). Unknown results (budget
+// exhaustion) are skipped: the fast path's answers are certificates, the
+// solver's Unknown is not.
+func (o *slotOracle) crossCheck(lo, hi int64, sat bool) {
+	r := o.e.solver.CheckWith(smt.Ge(smt.V(o.v), smt.C(lo)), smt.Le(smt.V(o.v), smt.C(hi)))
+	if r.Status == smt.Unknown {
+		return
+	}
+	if (r.Status == smt.Sat) != sat {
+		o.st.FastPathMismatches++
+	}
+}
+
+// Feasible is the transition.Oracle: one range probe.
+func (o *slotOracle) Feasible(lo, hi int64) bool {
+	o.st.OracleQueries++
+	if !o.e.cfg.NoIntervalFastPath {
+		if d := o.answerLocal(lo, hi); d != 0 {
+			o.st.OracleFastPath++
+			if o.e.cfg.ValidateFastPath {
+				o.crossCheck(lo, hi, d > 0)
+			}
+			return d > 0
+		}
+		if o.patchFeasible(lo, hi) {
+			o.st.OracleFastPath++
+			if o.e.cfg.ValidateFastPath {
+				o.crossCheck(lo, hi, true)
+			}
+			return true
+		}
+	}
+	return o.probe(lo, hi)
+}
+
+// FeasibleAny is the transition.BatchOracle: does any range contain a
+// feasible value? Local answers are drained first, so the solver only sees
+// ranges the interval state cannot decide — and each solver outcome refines
+// that state, often deciding the remaining ranges for free.
+func (o *slotOracle) FeasibleAny(ranges [][2]int64) bool {
+	if o.e.cfg.NoIntervalFastPath {
+		// Ablation path: identical probe sequence to per-range decoding.
+		for _, r := range ranges {
+			if o.Feasible(r[0], r[1]) {
+				return true
+			}
+		}
+		return false
+	}
+	// Queries are counted at resolution: ranges skipped by a short-circuit
+	// are not counted, matching the per-range path's early exit.
+	und := o.undecided[:0]
+	for _, r := range ranges {
+		d := o.answerLocal(r[0], r[1])
+		if d == 0 {
+			und = append(und, r)
+			continue
+		}
+		o.st.OracleQueries++
+		o.st.OracleFastPath++
+		if o.e.cfg.ValidateFastPath {
+			o.crossCheck(r[0], r[1], d > 0)
+		}
+		if d > 0 {
+			o.undecided = und
+			return true
+		}
+	}
+	o.undecided = und
+	for _, r := range und {
+		o.st.OracleQueries++
+		// Earlier probes in this loop may have refined the state.
+		if d := o.answerLocal(r[0], r[1]); d != 0 {
+			o.st.OracleFastPath++
+			if d > 0 {
+				return true
+			}
+			continue
+		}
+		if o.patchFeasible(r[0], r[1]) {
+			o.st.OracleFastPath++
+			if o.e.cfg.ValidateFastPath {
+				o.crossCheck(r[0], r[1], true)
+			}
+			return true
+		}
+		if o.probe(r[0], r[1]) {
+			return true
+		}
+	}
+	return false
+}
+
+// noteModel remembers the latest full model the solver produced. Models are
+// feasibility certificates for every variable at the epoch they were found,
+// which seeds the next slot's witness for free; guided() re-validates the
+// model across value assertions when the pinned value matches.
+func (e *Engine) noteModel(m map[smt.Var]int64) {
+	if m == nil {
+		return
+	}
+	e.lastModel = m
+	e.lastModelEpoch = e.solver.Epoch()
+}
+
+// conjunctsOn returns the rule formula's top-level conjuncts that mention v,
+// building the index lazily on first use. The index is shared across records:
+// the rule formula is fixed at engine construction, and per-record state
+// (known/pinned values) is asserted separately as equalities that never
+// mention an in-flight slot variable.
+func (e *Engine) conjunctsOn(v smt.Var) []smt.Formula {
+	if e.varConjuncts == nil {
+		e.varConjuncts = map[smt.Var][]smt.Formula{}
+		if e.ruleFormula != nil {
+			for _, c := range smt.Conjuncts(e.ruleFormula) {
+				for u := range smt.FormulaVars(c) {
+					e.varConjuncts[u] = append(e.varConjuncts[u], c)
+				}
+			}
+		}
+	}
+	return e.varConjuncts[v]
+}

@@ -25,12 +25,22 @@ type WorkerPerf struct {
 type PerfReport struct {
 	Records int `json:"records"`
 	Rules   int `json:"rules"`
-	// GoMaxProcs contextualizes the worker sweep: on a single-CPU host
-	// the pool cannot show wall-clock scaling, only determinism.
+	// NumCPU and GoMaxProcs contextualize the worker sweep: on a host where
+	// either is 1 the pool cannot show wall-clock scaling, only determinism.
+	// Earlier reports recorded only GOMAXPROCS, which hid the difference
+	// between a constrained process and a genuinely single-CPU machine.
+	NumCPU         int     `json:"num_cpu"`
 	GoMaxProcs     int     `json:"gomaxprocs"`
 	Tokens         int     `json:"tokens"`
 	TokensPerSec   float64 `json:"tokens_per_sec"`
 	ChecksPerToken float64 `json:"solver_checks_per_token"`
+	// FastPathRate is the fraction of range-feasibility probes answered with
+	// no solver involvement — per-slot interval state or model patching
+	// (DESIGN.md §6);
+	// SolverProbeRate is the fraction that fell back to a real CheckWith.
+	// The remainder hit the epoch-keyed cache (OracleHitRate).
+	FastPathRate    float64 `json:"oracle_fastpath_rate"`
+	SolverProbeRate float64 `json:"oracle_solver_probe_rate"`
 	// OracleHitRate is the fraction of range-feasibility probes served
 	// from the engine's epoch-keyed cache without a solver call.
 	OracleHitRate float64 `json:"oracle_cache_hit_rate"`
@@ -38,6 +48,9 @@ type PerfReport struct {
 	// epoch's memoized propagated base store instead of rebuilding it.
 	WarmStartRate float64      `json:"solver_warm_start_rate"`
 	ByWorkers     []WorkerPerf `json:"by_workers"`
+	// Warning flags conditions that make parts of the report meaningless
+	// (e.g. a worker sweep with GOMAXPROCS=1).
+	Warning string `json:"warning,omitempty"`
 }
 
 // RunPerf measures LeJIT decode throughput: one serial pass for the
@@ -69,7 +82,11 @@ func RunPerf(env *Env, workerCounts []int) (*PerfReport, error) {
 	rep := &PerfReport{
 		Records:    len(prompts),
 		Rules:      env.ImputeRules.Len(),
+		NumCPU:     runtime.NumCPU(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	if rep.GoMaxProcs == 1 {
+		rep.Warning = fmt.Sprintf("GOMAXPROCS=1 (NumCPU=%d): the worker sweep measures determinism, not parallel speedup", rep.NumCPU)
 	}
 
 	// Serial pass: per-token counters and wall time.
@@ -81,7 +98,7 @@ func RunPerf(env *Env, workerCounts []int) (*PerfReport, error) {
 		return nil, err
 	}
 	serial := time.Since(start)
-	var queries, hits uint64
+	var queries, hits, fast, probes uint64
 	for _, b := range batch {
 		if b.Err != nil {
 			continue
@@ -89,6 +106,8 @@ func RunPerf(env *Env, workerCounts []int) (*PerfReport, error) {
 		rep.Tokens += b.Res.Stats.Tokens
 		queries += b.Res.Stats.OracleQueries
 		hits += b.Res.Stats.OracleHits
+		fast += b.Res.Stats.OracleFastPath
+		probes += b.Res.Stats.OracleProbes
 	}
 	checks := eng.SolverStats().Checks - checksBefore
 	warms := eng.SolverStats().WarmStarts - warmBefore
@@ -100,6 +119,8 @@ func RunPerf(env *Env, workerCounts []int) (*PerfReport, error) {
 	}
 	if queries > 0 {
 		rep.OracleHitRate = float64(hits) / float64(queries)
+		rep.FastPathRate = float64(fast) / float64(queries)
+		rep.SolverProbeRate = float64(probes) / float64(queries)
 	}
 	if checks > 0 {
 		rep.WarmStartRate = float64(warms) / float64(checks)
@@ -140,11 +161,11 @@ func (r *PerfReport) WriteJSON(path string) error {
 func PerfTable(r *PerfReport) Table {
 	t := Table{
 		Title:  "Perf: LeJIT decode throughput (imputation, mined rules)",
-		Header: []string{"records", "tokens/sec", "checks/token", "oracle hit %", "warm-start %"},
+		Header: []string{"records", "tokens/sec", "checks/token", "fastpath %", "warm-start %"},
 	}
 	t.Rows = append(t.Rows, []string{
 		itoa(r.Records), f1(r.TokensPerSec), f3(r.ChecksPerToken),
-		pct(r.OracleHitRate), pct(r.WarmStartRate),
+		pct(r.FastPathRate), pct(r.WarmStartRate),
 	})
 	for _, w := range r.ByWorkers {
 		t.Rows = append(t.Rows, []string{

@@ -14,25 +14,29 @@ import (
 type Session struct {
 	m   *Model
 	pos int
-	// per-layer key/value caches, [Ctx, D] each, filled up to pos.
-	ks, vs []*tensor.Mat
+	// Per-layer key/value caches in head-major layout: head hd's entry for
+	// position t occupies kc[l][(hd*Ctx+t)*dh : (hd*Ctx+t+1)*dh]. One head's
+	// history is contiguous, so the attention inner loops (dot per cached
+	// position, then the value accumulation) walk sequential memory instead
+	// of striding Dim-wide rows.
+	kc, vc [][]float32
 	logits []float32
 	// Append scratch, allocated once per session. The decode hot path calls
 	// Append once per emitted character, so per-call make() churn dominated
 	// the allocation profile before these were hoisted.
-	x, ln, q, attn, proj, mlp []float32 // [Dim]
-	hbuf, hg                  []float32 // [ff*Dim]
-	p                         []float32 // [Ctx] attention row, used up to pos+1
+	x, ln, q, k, v, attn, proj, mlp []float32 // [Dim]
+	hbuf, hg                        []float32 // [ff*Dim]
+	p                               []float32 // [Ctx] attention row, used up to pos+1
 }
 
 // NewSession starts an empty decoding session.
 func (m *Model) NewSession() *Session {
 	s := &Session{m: m, logits: make([]float32, m.Cfg.Vocab)}
-	s.ks = make([]*tensor.Mat, m.Cfg.Layers)
-	s.vs = make([]*tensor.Mat, m.Cfg.Layers)
-	for l := range s.ks {
-		s.ks[l] = tensor.NewMat(m.Cfg.Ctx, m.Cfg.Dim)
-		s.vs[l] = tensor.NewMat(m.Cfg.Ctx, m.Cfg.Dim)
+	s.kc = make([][]float32, m.Cfg.Layers)
+	s.vc = make([][]float32, m.Cfg.Layers)
+	for l := range s.kc {
+		s.kc[l] = make([]float32, m.Cfg.Ctx*m.Cfg.Dim)
+		s.vc[l] = make([]float32, m.Cfg.Ctx*m.Cfg.Dim)
 	}
 	s.initScratch()
 	return s
@@ -45,6 +49,8 @@ func (s *Session) initScratch() {
 	s.x = make([]float32, d)
 	s.ln = make([]float32, d)
 	s.q = make([]float32, d)
+	s.k = make([]float32, d)
+	s.v = make([]float32, d)
 	s.attn = make([]float32, d)
 	s.proj = make([]float32, d)
 	s.mlp = make([]float32, d)
@@ -69,6 +75,7 @@ func (s *Session) Append(tok int) error {
 	f := m.Cfg.ff() * d
 	h := m.Cfg.Heads
 	dh := d / h
+	ctx := m.Cfg.Ctx
 	scale := float32(1 / math.Sqrt(float64(dh)))
 	t := s.pos
 
@@ -79,34 +86,41 @@ func (s *Session) Append(tok int) error {
 		x[j] += pos[j]
 	}
 
-	ln, q, attn := s.ln, s.q, s.attn
+	ln, q, k, v, attn := s.ln, s.q, s.k, s.v, s.attn
 	hbuf, hg := s.hbuf, s.hg
 	for l := range m.layers {
 		ly := &m.layers[l]
 		tensor.LayerNormRow(ln, x, ly.ln1g.W, ly.ln1b.W)
 
-		// Project q for this token; write k/v straight into the cache.
-		krow := s.ks[l].Row(t)
-		vrow := s.vs[l].Row(t)
-		vecLinear(q, ln, ly.wq.W, ly.bq.W, d, d)
-		vecLinear(krow, ln, ly.wk.W, ly.bk.W, d, d)
-		vecLinear(vrow, ln, ly.wv.W, ly.bv.W, d, d)
+		// Project q/k/v in one fused pass over the layer-norm row.
+		vecLinear3(q, k, v, ln, ly.wq.W, ly.wk.W, ly.wv.W, ly.bq.W, ly.bk.W, ly.bv.W, d, d)
 
-		// Attend over the cache (positions 0..t).
+		// Scatter this position's k/v into the head-major cache.
+		kc, vc := s.kc[l], s.vc[l]
+		for hd := 0; hd < h; hd++ {
+			dst := (hd*ctx + t) * dh
+			copy(kc[dst:dst+dh], k[hd*dh:(hd+1)*dh])
+			copy(vc[dst:dst+dh], v[hd*dh:(hd+1)*dh])
+		}
+
+		// Attend over the cache (positions 0..t); per head, the cached
+		// history is one contiguous block.
 		for i := range attn {
 			attn[i] = 0
 		}
 		for hd := 0; hd < h; hd++ {
 			off := hd * dh
 			qh := q[off : off+dh]
+			kh := kc[hd*ctx*dh:]
+			vh := vc[hd*ctx*dh:]
 			p := s.p[:t+1]
 			for j := 0; j <= t; j++ {
-				p[j] = tensor.Dot(qh, s.ks[l].Row(j)[off:off+dh]) * scale
+				p[j] = tensor.Dot(qh, kh[j*dh:j*dh+dh]) * scale
 			}
 			tensor.SoftmaxRow(p)
 			out := attn[off : off+dh]
 			for j := 0; j <= t; j++ {
-				tensor.Axpy(out, p[j], s.vs[l].Row(j)[off:off+dh])
+				tensor.Axpy(out, p[j], vh[j*dh:j*dh+dh])
 			}
 		}
 
@@ -148,14 +162,26 @@ func (s *Session) Logits() []float32 {
 
 // Clone returns an independent copy of the session: same consumed prefix,
 // same pending logits, separate KV cache. Used by beam-search decoding,
-// where beams share a prefix and then diverge.
+// where beams share a prefix and then diverge. Only the filled pos rows of
+// each head's cache block are copied; the rest of the fresh buffers is
+// zero and never read before being overwritten by Append.
 func (s *Session) Clone() *Session {
-	c := &Session{m: s.m, pos: s.pos, logits: append([]float32(nil), s.logits...)}
-	c.ks = make([]*tensor.Mat, len(s.ks))
-	c.vs = make([]*tensor.Mat, len(s.vs))
-	for l := range s.ks {
-		c.ks[l] = s.ks[l].Clone()
-		c.vs[l] = s.vs[l].Clone()
+	m := s.m
+	c := &Session{m: m, pos: s.pos, logits: append([]float32(nil), s.logits...)}
+	d := m.Cfg.Dim
+	dh := d / m.Cfg.Heads
+	ctx := m.Cfg.Ctx
+	c.kc = make([][]float32, len(s.kc))
+	c.vc = make([][]float32, len(s.vc))
+	n := s.pos * dh
+	for l := range s.kc {
+		c.kc[l] = make([]float32, ctx*d)
+		c.vc[l] = make([]float32, ctx*d)
+		for hd := 0; hd < m.Cfg.Heads; hd++ {
+			base := hd * ctx * dh
+			copy(c.kc[l][base:base+n], s.kc[l][base:base+n])
+			copy(c.vc[l][base:base+n], s.vc[l][base:base+n])
+		}
 	}
 	// Fresh scratch: the buffers hold no state between Appends, but sharing
 	// them would race when clones decode concurrently.
@@ -164,16 +190,87 @@ func (s *Session) Clone() *Session {
 }
 
 // vecLinear computes y = x·W + b for a single row x (len in), W [in, out].
+// Four input rows are folded per pass; each y[j] still accumulates strictly
+// in ascending input order (separate adds, one accumulator), so the result
+// is bit-identical to the scalar loop. The old per-input zero test is gone:
+// layer-norm output is essentially never zero, so the branch only cost.
 func vecLinear(y, x, w, b []float32, in, out int) {
+	y = y[:out]
 	copy(y, b[:out])
-	for p := 0; p < in; p++ {
-		xv := x[p]
-		if xv == 0 {
-			continue
+	p := 0
+	for ; p+4 <= in; p += 4 {
+		x0, x1, x2, x3 := x[p], x[p+1], x[p+2], x[p+3]
+		base := p * out
+		r0 := w[base : base+out]
+		r1 := w[base+out : base+2*out]
+		r2 := w[base+2*out : base+3*out]
+		r3 := w[base+3*out : base+4*out]
+		for j := range y {
+			a := y[j]
+			a += x0 * r0[j]
+			a += x1 * r1[j]
+			a += x2 * r2[j]
+			a += x3 * r3[j]
+			y[j] = a
 		}
+	}
+	for ; p < in; p++ {
+		xv := x[p]
 		row := w[p*out : (p+1)*out]
-		for j := 0; j < out; j++ {
+		for j := range y {
 			y[j] += xv * row[j]
+		}
+	}
+}
+
+// accumBlock4 folds four input rows (w, a [4, out] block) into y with one
+// accumulator per element and adds in ascending input order — the FP
+// operation sequence of four scalar passes. Factored out so each projection's
+// inner loop gets its own register allocation scope; with the three loops
+// inlined into one function body the live slice headers spill and the fused
+// projection ran ~50% slower than three separate ones.
+func accumBlock4(y, w []float32, out int, x0, x1, x2, x3 float32) {
+	r0 := w[:out]
+	r1 := w[out : 2*out]
+	r2 := w[2*out : 3*out]
+	r3 := w[3*out : 4*out]
+	for j := range y {
+		a := y[j]
+		a += x0 * r0[j]
+		a += x1 * r1[j]
+		a += x2 * r2[j]
+		a += x3 * r3[j]
+		y[j] = a
+	}
+}
+
+// vecLinear3 fuses the three attention projections sharing one input row:
+// q = x·Wq + bq, k = x·Wk + bk, v = x·Wv + bv. The input row is traversed
+// once, in blocks of four; within a block each projection accumulates with
+// the same 4-wide order-preserving pattern as vecLinear, so all three
+// outputs are bit-identical to three separate calls.
+func vecLinear3(q, k, v, x, wq, wk, wv, bq, bk, bv []float32, in, out int) {
+	q, k, v = q[:out], k[:out], v[:out]
+	copy(q, bq[:out])
+	copy(k, bk[:out])
+	copy(v, bv[:out])
+	p := 0
+	for ; p+4 <= in; p += 4 {
+		base := p * out
+		x0, x1, x2, x3 := x[p], x[p+1], x[p+2], x[p+3]
+		accumBlock4(q, wq[base:base+4*out], out, x0, x1, x2, x3)
+		accumBlock4(k, wk[base:base+4*out], out, x0, x1, x2, x3)
+		accumBlock4(v, wv[base:base+4*out], out, x0, x1, x2, x3)
+	}
+	for ; p < in; p++ {
+		xv := x[p]
+		rq := wq[p*out : (p+1)*out]
+		rk := wk[p*out : (p+1)*out]
+		rv := wv[p*out : (p+1)*out]
+		for j := range q {
+			q[j] += xv * rq[j]
+			k[j] += xv * rk[j]
+			v[j] += xv * rv[j]
 		}
 	}
 }

@@ -94,6 +94,15 @@ var (
 // AtomFormula wraps an Atom as a Formula.
 func AtomFormula(a Atom) Formula { return atomF{a: a} }
 
+// AtomOf returns the atom of a bare atomic formula, and reports whether f
+// is one.
+func AtomOf(f Formula) (Atom, bool) {
+	if g, ok := f.(atomF); ok {
+		return g.a, true
+	}
+	return Atom{}, false
+}
+
 // Le returns the formula a ≤ b.
 func Le(a, b LinExpr) Formula { return atomF{Atom{Expr: a.Sub(b), Op: OpLE}} }
 
@@ -278,6 +287,19 @@ func EvalFormula(f Formula, assign map[Var]int64) (bool, error) {
 		return false, nil
 	}
 	return false, fmt.Errorf("smt: unknown formula node %T", f)
+}
+
+// Conjuncts splits f into its top-level conjuncts. And flattens nested
+// conjunctions at construction time, so one level of splitting is complete:
+// no element of the result is itself a conjunction.
+func Conjuncts(f Formula) []Formula {
+	switch g := f.(type) {
+	case nil:
+		return nil
+	case andF:
+		return g.fs
+	}
+	return []Formula{f}
 }
 
 // FormulaVars returns the set of variables referenced by f.

@@ -1,0 +1,171 @@
+package smt
+
+// This file backs LeJIT's interval-based oracle fast path (DESIGN.md §6).
+// The decoder answers most per-digit range probes from the propagated root
+// bounds of the slot variable instead of issuing a solver check, which is
+// sound only under two conditions established here:
+//
+//  1. BaseBounds must be a true over-approximation of the variable's
+//     feasible projection. Bounds propagation guarantees that by
+//     construction, so a probe range disjoint from BaseBounds is always
+//     genuinely infeasible.
+//  2. Treating the feasible set as one contiguous interval (so "between two
+//     witnessed values" implies feasible) requires the projection to have no
+//     holes. Disjunctions are the dominant source of holes, and the hole a
+//     disjunction induces is not confined to the variables it mentions —
+//     v = y ∧ (y ≤ 0 ∨ y ≥ 10) punches a hole into v's projection without
+//     any disjunction naming v. VarDisjunctionTainted therefore reports v
+//     as tainted when v is connected, through the constraint graph of the
+//     epoch's live constraints, to any variable of a live disjunction.
+//     For the conjunctive remainder, interval-ness is a property of the
+//     rule grammar, not of linear arithmetic in general (coupled equality
+//     chains like w = x+y ∧ x = y give w an all-even projection); LeJIT's
+//     compiled rules — single unit-coefficient sum equalities plus pairwise
+//     inequalities whose slack (≥2) exceeds their coefficients minus one —
+//     cannot express such chains. DESIGN.md §6 states the argument; the
+//     decoder's ValidateFastPath mode and the fast-path equivalence tests
+//     check it empirically against the mined rule sets.
+//
+// "Live" matters for precision: the telemetry prompt pins the coarse fields
+// before fine-grained decoding starts, which decides most rule disjunctions
+// (e.g. Congestion = 0 entails the r3 implication). simplifyDisjunctions
+// resolves those at base-build time — entailed disjunctions are dropped,
+// refuted alternatives pruned, sole survivors asserted as base constraints —
+// so taint reflects only the disjunctions that can still branch.
+
+// simplifyDisjunctions resolves the base store's disjunctions against the
+// propagated root bounds, to fixpoint. Sound for every later probe of the
+// epoch: probes only conjoin extra constraints, which shrink the bound box,
+// and a formula entailed (resp. refuted) on a box stays entailed (refuted)
+// on any subset.
+func (b *baseStore) simplifyDisjunctions(s *Solver) {
+	pending := b.disj
+	b.disj = b.disj[:0:0] // fresh backing: pending still reads the old one
+	for len(pending) > 0 {
+		var next []orF
+		asserted := false
+		for _, g := range pending {
+			live := make([]Formula, 0, len(g.fs))
+			entailed := false
+			for _, alt := range g.fs {
+				switch b.dom.formulaStatus(alt) {
+				case triTrue:
+					entailed = true
+				case triUnknown:
+					live = append(live, alt)
+				}
+				if entailed {
+					break
+				}
+			}
+			if entailed {
+				continue
+			}
+			switch len(live) {
+			case 0:
+				b.conflict = true
+				return
+			case 1:
+				// Unit: the sole surviving alternative must hold; fold it
+				// into the base constraints.
+				ca := compileAssert(live[0])
+				if ca.unsat {
+					b.conflict = true
+					return
+				}
+				b.cons = append(b.cons, ca.cons...)
+				next = append(next, ca.disj...)
+				asserted = true
+			default:
+				next = append(next, orF{fs: live})
+			}
+		}
+		if asserted {
+			// New base constraints may tighten bounds, which can decide
+			// disjunctions kept earlier in this round: re-examine them all.
+			if !propagate(b.dom, b.cons, &s.stats.Propagations) {
+				b.conflict = true
+				return
+			}
+			pending = next
+			continue
+		}
+		b.disj = next
+		return
+	}
+}
+
+// buildTaint marks every variable whose feasible projection may be
+// non-convex: those in the same constraint-graph component as a variable of
+// a live disjunction. Components are computed by union-find over the base
+// constraints; disjunction variables then taint their components.
+func (b *baseStore) buildTaint(nvars int) {
+	if len(b.disj) == 0 {
+		return // no live disjunctions: every projection is an interval
+	}
+	parent := make([]int32, nvars)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(x, y int32) {
+		rx, ry := find(x), find(y)
+		if rx != ry {
+			parent[rx] = ry
+		}
+	}
+	for i := range b.cons {
+		terms := b.cons[i].terms
+		for j := 1; j < len(terms); j++ {
+			union(int32(terms[0].V), int32(terms[j].V))
+		}
+	}
+	tainted := make(map[int32]bool)
+	for _, g := range b.disj {
+		for v := range FormulaVars(g) {
+			tainted[find(int32(v))] = true
+		}
+	}
+	b.disjTaint = make([]bool, nvars)
+	for v := range b.disjTaint {
+		b.disjTaint[v] = tainted[find(int32(v))]
+	}
+}
+
+// BaseBounds returns the propagated root bounds of v under the active
+// assertions: a superset of v's feasible values, computed without any solver
+// check (the epoch's memoized base store is built at most once). feasible is
+// false when the assertions alone are unsatisfiable — then no value of any
+// variable is feasible.
+func (s *Solver) BaseBounds(v Var) (lo, hi int64, feasible bool) {
+	b := s.currentBase()
+	if b.conflict {
+		return 0, 0, false
+	}
+	return b.dom.lo[v], b.dom.hi[v], true
+}
+
+// VarDisjunctionTainted reports whether v's feasible projection may be
+// non-convex under the active assertions: whether v shares a constraint-graph
+// component with a variable of a disjunction the root bounds cannot decide.
+// When it returns false, the feasible set of v is a single interval, so a
+// caller holding two feasible witnesses may treat every value between them
+// as feasible. Conservative: true never lies, false is exact for the
+// bounds-consistent base (see the file comment for the argument).
+func (s *Solver) VarDisjunctionTainted(v Var) bool {
+	b := s.currentBase()
+	if b.conflict {
+		return true
+	}
+	if b.disjTaint == nil {
+		return false
+	}
+	return b.disjTaint[v]
+}

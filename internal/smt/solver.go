@@ -142,6 +142,9 @@ type baseStore struct {
 	// watch[v] lists the indices of cons containing variable v, so a probe
 	// that tightens v wakes only the constraints that can react.
 	watch [][]int32
+	// disjTaint[v] marks variables connected to a live disjunction (nil when
+	// no disjunction survived simplification); see interval.go.
+	disjTaint []bool
 }
 
 // NewSolver returns an empty solver.
@@ -221,6 +224,9 @@ func (s *Solver) Check() Result {
 // store and only compiles the extra formulas.
 func (s *Solver) CheckWith(extra ...Formula) Result {
 	s.stats.Checks++
+	if s.base != nil && s.base.epoch == s.epoch {
+		s.stats.WarmStarts++
+	}
 	base := s.currentBase()
 	if base.conflict {
 		s.stats.Conflicts++
@@ -259,13 +265,13 @@ func (s *Solver) CheckWith(extra ...Formula) Result {
 }
 
 // currentBase returns the memoized base store for the current epoch,
-// building it on the first Check after a mutation. Propagating the asserted
+// building it on the first use after a mutation. Propagating the asserted
 // constraints here is sound for every subsequent probe: bounds propagation
 // only removes values that no model of the assertions can take, and extra
-// formulas only shrink the model set further.
+// formulas only shrink the model set further. The same monotonicity argument
+// covers the disjunction simplification (see interval.go).
 func (s *Solver) currentBase() *baseStore {
 	if s.base != nil && s.base.epoch == s.epoch {
-		s.stats.WarmStarts++
 		return s.base
 	}
 	s.stats.BaseBuilds++
@@ -290,12 +296,16 @@ func (s *Solver) currentBase() *baseStore {
 		b.conflict = true
 	}
 	if !b.conflict {
+		b.simplifyDisjunctions(s)
+	}
+	if !b.conflict {
 		b.watch = make([][]int32, len(s.lo))
 		for i := range b.cons {
 			for _, t := range b.cons[i].terms {
 				b.watch[t.V] = append(b.watch[t.V], int32(i))
 			}
 		}
+		b.buildTaint(len(s.lo))
 	}
 	s.base = b
 	return b

@@ -261,23 +261,40 @@ func GELUBackward(dx, dy, x []float32) {
 	}
 }
 
-// Axpy computes y += a*x elementwise.
+// Axpy computes y += a*x elementwise. Unrolled 4-wide; each element is an
+// independent fused update, so the result is identical to the scalar loop.
 func Axpy(y []float32, a float32, x []float32) {
 	if len(x) != len(y) {
 		panic("tensor: Axpy length mismatch")
 	}
-	for i := range y {
+	i := 0
+	for ; i+4 <= len(y); i += 4 {
+		y[i] += a * x[i]
+		y[i+1] += a * x[i+1]
+		y[i+2] += a * x[i+2]
+		y[i+3] += a * x[i+3]
+	}
+	for ; i < len(y); i++ {
 		y[i] += a * x[i]
 	}
 }
 
-// Dot returns ⟨x, y⟩.
+// Dot returns ⟨x, y⟩. Unrolled 4-wide into a single accumulator with the
+// adds kept as separate sequential statements, so the summation order — and
+// therefore the float32 result — is bit-identical to the scalar loop.
 func Dot(x, y []float32) float32 {
 	if len(x) != len(y) {
 		panic("tensor: Dot length mismatch")
 	}
 	var s float32
-	for i := range x {
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		s += x[i] * y[i]
+		s += x[i+1] * y[i+1]
+		s += x[i+2] * y[i+2]
+		s += x[i+3] * y[i+3]
+	}
+	for ; i < len(x); i++ {
 		s += x[i] * y[i]
 	}
 	return s

@@ -26,6 +26,14 @@ import (
 // so far; they must be conservative in neither direction (exact).
 type Oracle func(lo, hi int64) bool
 
+// BatchOracle answers a whole candidate's completion set in one call: it
+// reports whether any of the inclusive ranges contains a feasible value.
+// Semantically identical to OR-ing Feasible over the ranges, but the oracle
+// sees the full set up front, so an interval-based implementation can answer
+// the easy ranges locally and spend solver work only on the residue. The
+// ranges slice is owned by the caller and reused between calls.
+type BatchOracle func(ranges [][2]int64) bool
+
 // System is a character-level transition system over decimal digit strings.
 type System struct {
 	// MaxDigits caps the number's width. It must cover the variable's
@@ -33,6 +41,11 @@ type System struct {
 	MaxDigits int
 	// Feasible is the range-feasibility oracle.
 	Feasible Oracle
+	// FeasibleAny, when non-nil, answers each digit candidate's completion
+	// union in one batched call instead of MaxDigits-k single-range probes.
+	FeasibleAny BatchOracle
+
+	rbuf [][2]int64 // scratch for the batched Admissible path
 }
 
 // State is a digit prefix: the value accumulated so far and the number of
@@ -74,6 +87,20 @@ func New(maxDigits int, oracle Oracle) *System {
 		panic("transition: nil oracle")
 	}
 	return &System{MaxDigits: maxDigits, Feasible: oracle}
+}
+
+// NewBatch constructs a transition system whose Admissible path batches each
+// candidate's completion ranges into one BatchOracle call. The single-range
+// oracle is still required: Step/HasPath and the canEnd probe use it. Both
+// must agree with each other (batch(ranges) ⇔ ∃r∈ranges: oracle(r)).
+func NewBatch(maxDigits int, oracle Oracle, batch BatchOracle) *System {
+	s := New(maxDigits, oracle)
+	if batch == nil {
+		panic("transition: nil batch oracle")
+	}
+	s.FeasibleAny = batch
+	s.rbuf = make([][2]int64, 0, maxDigits+1)
+	return s
 }
 
 // Start returns the empty-prefix state.
@@ -129,12 +156,21 @@ func (s *System) Admissible(st State) (digits [10]bool, canEnd bool) {
 }
 
 // prefixFeasible reports whether any ≤MaxDigits-digit value whose decimal
-// form starts with the k-digit prefix of value v is feasible.
+// form starts with the k-digit prefix of value v is feasible. With a batch
+// oracle, the whole completion union goes out as one call; otherwise the
+// widths are probed narrow-to-wide, short-circuiting on the first hit.
 func (s *System) prefixFeasible(v int64, k int) bool {
-	p := v
+	if s.FeasibleAny != nil {
+		s.rbuf = s.rbuf[:0]
+		for j := 0; j <= s.MaxDigits-k; j++ {
+			width := pow10(j)
+			s.rbuf = append(s.rbuf, [2]int64{v * width, v*width + width - 1})
+		}
+		return s.FeasibleAny(s.rbuf)
+	}
 	for j := 0; j <= s.MaxDigits-k; j++ {
 		width := pow10(j)
-		if s.Feasible(p*width, p*width+width-1) {
+		if s.Feasible(v*width, v*width+width-1) {
 			return true
 		}
 	}

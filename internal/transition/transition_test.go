@@ -276,3 +276,112 @@ func TestStateString(t *testing.T) {
 	}
 	_ = fmt.Sprintf("%v", st)
 }
+
+// batchFromOracle lifts a single-range oracle into a BatchOracle, counting
+// calls; the reference semantics NewBatch implementations must match.
+func batchFromOracle(o Oracle, calls *int) BatchOracle {
+	return func(ranges [][2]int64) bool {
+		*calls++
+		for _, r := range ranges {
+			if o(r[0], r[1]) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// TestBatchAdmissibleEquivalence fuzzes the batched path against the
+// per-range path: for random interval sets, every reachable state must get
+// identical admissibility from New and NewBatch.
+func TestBatchAdmissibleEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 60; trial++ {
+		maxDigits := 1 + rng.Intn(3)
+		limit := pow10(maxDigits) - 1
+		var ivs [][2]int64
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			a := rng.Int63n(limit + 1)
+			b := a + rng.Int63n(limit-a+1)
+			ivs = append(ivs, [2]int64{a, b})
+		}
+		oracle := IntervalSetOracle(ivs)
+		plain := New(maxDigits, oracle)
+		calls := 0
+		batched := NewBatch(maxDigits, oracle, batchFromOracle(oracle, &calls))
+
+		var walk func(st State)
+		walk = func(st State) {
+			d1, e1 := plain.Admissible(st)
+			d2, e2 := batched.Admissible(st)
+			if d1 != d2 || e1 != e2 {
+				t.Fatalf("trial %d state %s: plain (%v,%v) != batched (%v,%v)",
+					trial, st, d1, e1, d2, e2)
+			}
+			for d := 0; d <= 9; d++ {
+				if !d1[d] {
+					continue
+				}
+				nst, err := plain.Step(st, byte('0'+d))
+				if err != nil {
+					t.Fatal(err)
+				}
+				walk(nst)
+			}
+		}
+		walk(plain.Start())
+		if calls == 0 {
+			t.Fatalf("trial %d: batch oracle never consulted", trial)
+		}
+	}
+}
+
+// TestBatchOneCallPerCandidate pins the batching contract: from the start
+// state of a width-3 system, each first-digit candidate costs exactly one
+// batch call carrying all its completion widths.
+func TestBatchOneCallPerCandidate(t *testing.T) {
+	var got [][][2]int64
+	sys := NewBatch(3, IntervalSetOracle([][2]int64{{0, 999}}),
+		func(ranges [][2]int64) bool {
+			cp := append([][2]int64(nil), ranges...)
+			got = append(got, cp)
+			return true
+		})
+	digits, canEnd := sys.Admissible(sys.Start())
+	if canEnd {
+		t.Error("empty prefix must not end")
+	}
+	for d := 0; d <= 9; d++ {
+		if !digits[d] {
+			t.Errorf("digit %d inadmissible under a full-range oracle", d)
+		}
+	}
+	// Digit 0 collapses to the single value 0 and uses the single-range
+	// oracle; digits 1..9 each cost one batch call.
+	if len(got) != 9 {
+		t.Fatalf("%d batch calls, want 9 (one per first digit 1..9)", len(got))
+	}
+	// Candidate "7": completions are {7, 70..79, 700..799}.
+	want := [][2]int64{{7, 7}, {70, 79}, {700, 799}}
+	for _, call := range got {
+		if call[0][0] == 7 {
+			for i, r := range want {
+				if call[i] != r {
+					t.Fatalf("candidate 7 ranges %v, want %v", call, want)
+				}
+			}
+		}
+	}
+	if sys.FeasibleAny == nil {
+		t.Error("NewBatch did not set FeasibleAny")
+	}
+}
+
+func TestNewBatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil batch oracle should panic")
+		}
+	}()
+	NewBatch(2, IntervalSetOracle(nil), nil)
+}
