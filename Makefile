@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: all tier1 verify bench perf fmt clean
+# Where machine-readable benchmark reports land. Override per-figure, e.g.
+#   make perf BENCH_OUT=BENCH_2.json
+#   make bench-serve BENCH_OUT=BENCH_3.json
+BENCH_OUT ?= bench.json
+
+.PHONY: all tier1 verify bench perf bench-serve fmt clean
 
 all: verify
 
@@ -10,25 +15,31 @@ tier1:
 	$(GO) test ./...
 
 # Full verify path: tier-1 plus static checks and the race detector over
-# the concurrent packages (the solver and the batched decode pool).
+# the concurrent packages (the solver, the batched decode pool, and the
+# serving daemon).
 verify: tier1
 	$(GO) vet ./...
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
-	$(GO) test -race ./internal/core/... ./internal/smt/...
+	$(GO) test -race ./internal/core/... ./internal/smt/... ./internal/server/...
 
 # Kernel microbenchmarks (vs seed-copy references) plus the perf figure,
 # which writes the machine-readable report.
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' ./...
-	$(GO) run ./cmd/lejit-bench -scale tiny -fig perf -json BENCH_2.json
+	$(GO) run ./cmd/lejit-bench -scale tiny -fig perf -json $(BENCH_OUT)
 
 # Regenerate just the machine-readable perf report.
 perf:
-	$(GO) run ./cmd/lejit-bench -scale tiny -fig perf -json BENCH_2.json
+	$(GO) run ./cmd/lejit-bench -scale tiny -fig perf -json $(BENCH_OUT)
+
+# Serving load test: end-to-end HTTP throughput/latency through lejitd's
+# micro-batching queue (BENCH_3.json in the committed tree).
+bench-serve:
+	$(GO) run ./cmd/lejit-bench -scale tiny -fig serve -json $(BENCH_OUT)
 
 fmt:
 	gofmt -w .
 
 clean:
-	rm -f lejit repro.test
+	rm -f lejit lejitd repro.test

@@ -31,7 +31,7 @@ func main() {
 
 func run() error {
 	scale := flag.String("scale", "default", "default|tiny")
-	figs := flag.String("fig", "all", "comma-separated: 3l,3r,4l,4r,5,abl,perf (or all)")
+	figs := flag.String("fig", "all", "comma-separated: 3l,3r,4l,4r,5,abl,perf,serve (all = every figure except serve)")
 	testN := flag.Int("testn", 0, "override test-record count")
 	sampleN := flag.Int("samplen", 0, "override synthesis sample count")
 	racks := flag.Int("racks", 0, "override total rack count")
@@ -163,7 +163,7 @@ func run() error {
 		}
 		fmt.Println(experiments.AblationTable("Ablation: decoding strategy (sampling vs greedy vs beam)", db).Render())
 	}
-	if all || want["perf"] || *jsonOut != "" {
+	if all || want["perf"] || (*jsonOut != "" && !want["serve"]) {
 		rep, err := experiments.RunPerf(env, nil)
 		if err != nil {
 			return err
@@ -177,6 +177,24 @@ func run() error {
 				return err
 			}
 			fmt.Printf("# perf report written to %s\n", *jsonOut)
+		}
+	}
+	// The serving load test spins up a real lejitd instance, so it only
+	// runs when asked for explicitly — it is not part of "all".
+	if want["serve"] {
+		rep, err := experiments.RunServeBench(env, experiments.ServeBenchConfig{})
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.ServeTable(rep).Render())
+		if rep.Warning != "" {
+			fmt.Printf("# warning: %s\n", rep.Warning)
+		}
+		if *jsonOut != "" {
+			if err := rep.WriteJSON(*jsonOut); err != nil {
+				return err
+			}
+			fmt.Printf("# serve report written to %s\n", *jsonOut)
 		}
 	}
 	return nil

@@ -1,0 +1,142 @@
+// Command lejitd is the LeJIT serving daemon: it loads a model and rule set
+// once, then serves rule-compliant imputation/generation over HTTP with
+// dynamic micro-batching, bounded-queue backpressure, per-request deadlines,
+// Prometheus metrics, and graceful drain on SIGTERM.
+//
+// Endpoints:
+//
+//	POST /v1/impute    {"known": {"TotalIngress": [100], ...}, "seed": 1}
+//	POST /v1/generate  {"seed": 2}
+//	POST /v1/check     {"record": {...}}
+//	GET  /healthz
+//	GET  /metrics
+//
+// Examples:
+//
+//	lejitd -model model.gob -rules rules.txt -addr :8080
+//	lejitd -demo                      # self-contained: trains a tiny model in-process
+//	lejitd -demo -batch-window 5ms -max-batch 16 -queue 128
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/nn"
+	"repro/internal/rules"
+	"repro/internal/server"
+	"repro/internal/vocab"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lejitd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8080", "listen address")
+	modelPath := flag.String("model", "", "trained model file (see 'lejit train'); required unless -demo")
+	rulePath := flag.String("rules", "", "rule file (see 'lejit mine'); optional with -demo")
+	demo := flag.Bool("demo", false, "self-contained demo: train a tiny model and mine rules in-process")
+	temp := flag.Float64("temp", 0.9, "sampling temperature")
+	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "how long to hold the micro-batch open after the first request")
+	maxBatch := flag.Int("max-batch", 32, "max records coalesced per decode batch")
+	queueDepth := flag.Int("queue", 256, "admission queue depth (full queue answers 429)")
+	workers := flag.Int("workers", 0, "decode workers per batch (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown bound after SIGTERM")
+	seed := flag.Int64("seed", 1, "base seed for requests that do not pin their own")
+	flag.Parse()
+
+	eng, rs, schema, err := buildEngine(*modelPath, *rulePath, *demo, *temp)
+	if err != nil {
+		return err
+	}
+	logf := func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+	srv, err := server.New(server.Config{
+		Engine: eng, Rules: rs, Schema: schema,
+		BatchWindow: *batchWindow, MaxBatch: *maxBatch, QueueDepth: *queueDepth,
+		Workers: *workers, Timeout: *timeout, DrainTimeout: *drainTimeout,
+		Seed: *seed, Logf: logf,
+	})
+	if err != nil {
+		return err
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// SIGTERM/SIGINT cancel the context; Serve then drains in-flight
+	// requests (bounded by -drain-timeout) before returning.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	logf("lejitd: serving on %s (batch window %v, max batch %d, queue %d)",
+		l.Addr(), *batchWindow, *maxBatch, *queueDepth)
+	return srv.Serve(ctx, l)
+}
+
+// buildEngine assembles the decoding engine either from artifact files or,
+// with -demo, from an in-process tiny-scale experiment environment.
+func buildEngine(modelPath, rulePath string, demo bool, temp float64) (*core.Engine, *rules.RuleSet, *rules.Schema, error) {
+	if demo && modelPath == "" {
+		sc := experiments.TinyScale()
+		sc.Quiet = false
+		env, err := experiments.Prepare(sc)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		eng, err := env.EngineFor(env.ImputeRules, core.LeJIT)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return eng, env.ImputeRules, env.Schema, nil
+	}
+	if modelPath == "" {
+		return nil, nil, nil, fmt.Errorf("-model is required (or pass -demo)")
+	}
+	f, err := os.Open(modelPath)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	defer f.Close()
+	m, err := nn.Load(f)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	schema := dataset.Schema()
+	var rs *rules.RuleSet
+	if rulePath != "" {
+		src, err := os.ReadFile(rulePath)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		rs, err = rules.ParseRuleSet(string(src), schema)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	slots, err := core.TelemetryGrammar(schema, dataset.CoarseFields(), dataset.FineField)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	eng, err := core.NewEngine(core.Config{
+		LM: core.WrapNN(m), Tok: vocab.Telemetry(), Schema: schema,
+		Rules: rs, Slots: slots, Mode: core.LeJIT, Temperature: temp,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return eng, rs, schema, nil
+}

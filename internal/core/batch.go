@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -14,6 +15,31 @@ import (
 // (*Engine).Vanilla.
 type DecodeFn func(e *Engine, known rules.Record, rng *rand.Rand) (Result, error)
 
+// DecodeCtxFn is the context-aware form of DecodeFn. The context is the
+// per-record one (see BatchRequest.Ctx); implementations should abandon the
+// decode promptly once it is cancelled.
+type DecodeCtxFn func(ctx context.Context, e *Engine, known rules.Record, rng *rand.Rand) (Result, error)
+
+// BatchRequest is one record's worth of work for DecodeRequests. The zero
+// value (plus a Prompt) behaves exactly like an entry of DecodeBatch's
+// prompt slice.
+type BatchRequest struct {
+	// Prompt is the known prefix; nil means unconditional generation.
+	Prompt rules.Record
+	// Ctx cancels just this record. nil means the batch context. A request
+	// whose context is already done is not decoded at all; its BatchResult
+	// carries the context's error.
+	Ctx context.Context
+	// Seed, when non-nil, overrides the index-derived RNG seed. This is what
+	// lets a serving layer coalesce requests from independent callers into
+	// one batch while keeping each caller's output a deterministic function
+	// of its own seed, not of batch composition (DESIGN.md §8).
+	Seed *int64
+	// Decode, when non-nil, overrides the batch-level decode function for
+	// this record (e.g. a per-request baseline mode).
+	Decode DecodeCtxFn
+}
+
 // BatchResult pairs one prompt's decode outcome with its index.
 type BatchResult struct {
 	Index int
@@ -26,6 +52,14 @@ type BatchResult struct {
 // and scheduling.
 func batchSeed(seed int64, i int) int64 { return seed + int64(i)*7919 }
 
+// defaultDecode selects ImputeCtx/GenerateCtx by prompt presence.
+func defaultDecode(ctx context.Context, e *Engine, known rules.Record, rng *rand.Rand) (Result, error) {
+	if known == nil {
+		return e.GenerateCtx(ctx, rng)
+	}
+	return e.ImputeCtx(ctx, known, rng)
+}
+
 // DecodeBatch decodes prompts[i] for every i and returns results in prompt
 // order. A nil prompt means unconditional generation; a nil decode selects
 // Generate/Impute accordingly. workers < 1 means runtime.GOMAXPROCS(0).
@@ -37,31 +71,77 @@ func batchSeed(seed int64, i int) int64 { return seed + int64(i)*7919 }
 // each worker gets its own clone, while the LM weights and the compiled rule
 // formula are shared read-only.
 func (e *Engine) DecodeBatch(prompts []rules.Record, workers int, seed int64, decode DecodeFn) ([]BatchResult, error) {
-	if decode == nil {
-		decode = func(eng *Engine, known rules.Record, rng *rand.Rand) (Result, error) {
-			if known == nil {
-				return eng.Generate(rng)
-			}
-			return eng.Impute(known, rng)
+	var dc DecodeCtxFn
+	if decode != nil {
+		dc = func(_ context.Context, eng *Engine, known rules.Record, rng *rand.Rand) (Result, error) {
+			return decode(eng, known, rng)
 		}
+	}
+	return e.DecodeBatchCtx(context.Background(), prompts, workers, seed, dc)
+}
+
+// DecodeBatchCtx is DecodeBatch under a context: cancelling ctx stops
+// in-flight decodes at the next token boundary and skips records not yet
+// started (their BatchResult.Err is the context error).
+func (e *Engine) DecodeBatchCtx(ctx context.Context, prompts []rules.Record, workers int, seed int64, decode DecodeCtxFn) ([]BatchResult, error) {
+	reqs := make([]BatchRequest, len(prompts))
+	for i, p := range prompts {
+		reqs[i].Prompt = p
+	}
+	return e.DecodeRequests(ctx, reqs, workers, seed, decode)
+}
+
+// DecodeRequests is the most general batch entry point: each request may
+// carry its own context, seed, and decode function (see BatchRequest). It
+// preserves DecodeBatch's determinism contract — request i without an
+// explicit seed uses rand.NewSource(seed + i*7919) — while letting a serving
+// layer cancel or time out individual records without aborting the batch.
+// The returned error reports only batch-level failures (engine cloning);
+// per-record failures, including context cancellation, land in
+// BatchResult.Err.
+func (e *Engine) DecodeRequests(ctx context.Context, reqs []BatchRequest, workers int, seed int64, decode DecodeCtxFn) ([]BatchResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if decode == nil {
+		decode = defaultDecode
 	}
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(prompts) {
-		workers = len(prompts)
+	if workers > len(reqs) {
+		workers = len(reqs)
 	}
-	out := make([]BatchResult, len(prompts))
+	out := make([]BatchResult, len(reqs))
 	for i := range out {
 		out[i].Index = i
 	}
-	if len(prompts) == 0 {
+	if len(reqs) == 0 {
 		return out, nil
 	}
+	run := func(eng *Engine, i int) {
+		rctx := reqs[i].Ctx
+		if rctx == nil {
+			rctx = ctx
+		}
+		if err := rctx.Err(); err != nil {
+			out[i].Err = err
+			return
+		}
+		s := batchSeed(seed, i)
+		if reqs[i].Seed != nil {
+			s = *reqs[i].Seed
+		}
+		d := reqs[i].Decode
+		if d == nil {
+			d = decode
+		}
+		rng := rand.New(rand.NewSource(s))
+		out[i].Res, out[i].Err = d(rctx, eng, reqs[i].Prompt, rng)
+	}
 	if workers == 1 {
-		for i, p := range prompts {
-			rng := rand.New(rand.NewSource(batchSeed(seed, i)))
-			out[i].Res, out[i].Err = decode(e, p, rng)
+		for i := range reqs {
+			run(e, i)
 		}
 		return out, nil
 	}
@@ -81,12 +161,11 @@ func (e *Engine) DecodeBatch(prompts []rules.Record, workers int, seed int64, de
 		go func(eng *Engine) {
 			defer wg.Done()
 			for i := range idx {
-				rng := rand.New(rand.NewSource(batchSeed(seed, i)))
-				out[i].Res, out[i].Err = decode(eng, prompts[i], rng)
+				run(eng, i)
 			}
 		}(eng)
 	}
-	for i := range prompts {
+	for i := range reqs {
 		idx <- i
 	}
 	close(idx)

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/rules"
 	"repro/internal/vocab"
@@ -221,6 +224,77 @@ func TestOracleCacheStats(t *testing.T) {
 	}
 	if res2.Stats.SolverChecks < res.Stats.SolverChecks {
 		t.Errorf("cache-off solver checks %d < cache-on %d", res2.Stats.SolverChecks, res.Stats.SolverChecks)
+	}
+}
+
+// TestDecodeRequestsPerRecordCtx: a request whose context is already done
+// must not decode at all, and must not disturb its batch-mates.
+func TestDecodeRequestsPerRecordCtx(t *testing.T) {
+	e := testEngine(t, uniformLM{vocab: vocab.Telemetry().Size()}, LeJIT)
+	prompts := testPrompts(3)
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	reqs := []BatchRequest{
+		{Prompt: prompts[0]},
+		{Prompt: prompts[1], Ctx: dead},
+		{Prompt: prompts[2]},
+	}
+	out, err := e.DecodeRequests(context.Background(), reqs, 2, 42, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(out[1].Err, context.Canceled) {
+		t.Errorf("cancelled record err = %v, want context.Canceled", out[1].Err)
+	}
+	if out[1].Res.Stats.Tokens != 0 {
+		t.Errorf("cancelled record emitted %d tokens, want 0", out[1].Res.Stats.Tokens)
+	}
+	for _, i := range []int{0, 2} {
+		if out[i].Err != nil {
+			t.Errorf("record %d: %v", i, out[i].Err)
+		}
+	}
+}
+
+// TestDecodeRequestsSeedOverride: an explicit per-request seed must make the
+// output independent of the record's position in the batch (the serving
+// determinism contract, DESIGN.md §8).
+func TestDecodeRequestsSeedOverride(t *testing.T) {
+	e := testEngine(t, uniformLM{vocab: vocab.Telemetry().Size()}, LeJIT)
+	prompts := testPrompts(4)
+	seed := int64(1234)
+	decodeAt := func(pos, n int) string {
+		reqs := make([]BatchRequest, n)
+		for i := range reqs {
+			reqs[i].Prompt = prompts[i]
+		}
+		reqs[pos].Prompt = prompts[3]
+		reqs[pos].Seed = &seed
+		out, err := e.DecodeRequests(context.Background(), reqs, 1, 99, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[pos].Err != nil {
+			t.Fatal(out[pos].Err)
+		}
+		return formatRec(t, e, out[pos].Res.Rec)
+	}
+	first := decodeAt(0, 1)
+	if got := decodeAt(2, 3); got != first {
+		t.Errorf("seeded record differs by batch position:\n got %q\nwant %q", got, first)
+	}
+}
+
+// TestImputeCtxCancelMidDecode: cancelling during the decode stops it at a
+// token boundary with the context's error.
+func TestImputeCtxCancelMidDecode(t *testing.T) {
+	e := testEngine(t, uniformLM{vocab: vocab.Telemetry().Size()}, LeJIT)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Microsecond)
+	defer cancel()
+	time.Sleep(time.Millisecond) // ensure the deadline has passed
+	_, err := e.ImputeCtx(ctx, rules.Record{"TotalIngress": {120}, "Congestion": {10}}, rand.New(rand.NewSource(1)))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
 	}
 }
 

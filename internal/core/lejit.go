@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -13,13 +14,25 @@ import (
 // prefix (the paper's telemetry-imputation task: coarse counters in, fine
 // series out), enforcing the rule set Just-In-Time.
 func (e *Engine) Impute(known rules.Record, rng *rand.Rand) (Result, error) {
-	return e.guided(known, rng)
+	return e.guided(context.Background(), known, rng)
+}
+
+// ImputeCtx is Impute under a context: a cancelled or expired context stops
+// the decode at the next token boundary — before the next round of solver
+// probes — and returns the context's error.
+func (e *Engine) ImputeCtx(ctx context.Context, known rules.Record, rng *rand.Rand) (Result, error) {
+	return e.guided(ctx, known, rng)
 }
 
 // Generate produces a full record unconditionally (the synthetic-data task),
 // enforcing the rule set Just-In-Time.
 func (e *Engine) Generate(rng *rand.Rand) (Result, error) {
-	return e.guided(nil, rng)
+	return e.guided(context.Background(), nil, rng)
+}
+
+// GenerateCtx is Generate under a context (see ImputeCtx).
+func (e *Engine) GenerateCtx(ctx context.Context, rng *rand.Rand) (Result, error) {
+	return e.guided(ctx, nil, rng)
 }
 
 // guided is the LeJIT decoding loop (paper Fig 1b):
@@ -36,7 +49,10 @@ func (e *Engine) Generate(rng *rand.Rand) (Result, error) {
 //     and the remainder renormalized. When the value terminates, its
 //     equality is asserted, activating/deactivating rules for later slots
 //     (dynamic partial instantiation, §3 step ①–②).
-func (e *Engine) guided(known rules.Record, rng *rand.Rand) (Result, error) {
+func (e *Engine) guided(ctx context.Context, known rules.Record, rng *rand.Rand) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var res Result
 	prompt, fromSlot, err := e.promptFor(known)
 	if err != nil {
@@ -73,7 +89,7 @@ func (e *Engine) guided(known rules.Record, rng *rand.Rand) (Result, error) {
 
 	vals := make([]int64, 0, len(e.cfg.Slots)-fromSlot)
 	for _, slot := range e.cfg.Slots[fromSlot:] {
-		v, err := e.generateValue(slot, sess, rng, &res.Stats)
+		v, err := e.generateValue(ctx, slot, sess, rng, &res.Stats)
 		if err != nil {
 			res.Stats.SolverChecks = e.solver.Stats().Checks - checksBefore
 			return res, err
@@ -94,8 +110,10 @@ func (e *Engine) guided(known rules.Record, rng *rand.Rand) (Result, error) {
 	return res, nil
 }
 
-// generateValue decodes one slot's value character by character.
-func (e *Engine) generateValue(slot Slot, sess Session, rng *rand.Rand, st *Stats) (int64, error) {
+// generateValue decodes one slot's value character by character. The context
+// is checked once per emitted token — i.e. before each round of solver
+// probes — so a cancelled request stops burning solver work mid-decode.
+func (e *Engine) generateValue(ctx context.Context, slot Slot, sess Session, rng *rand.Rand, st *Stats) (int64, error) {
 	f, _ := e.cfg.Schema.Field(slot.Field)
 	v := e.slotVar(slot)
 
@@ -125,6 +143,9 @@ func (e *Engine) generateValue(slot Slot, sess Session, rng *rand.Rand, st *Stat
 	state := sys.Start()
 	allowed := make([]int, 0, 11)
 	for {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		digits, canEnd := sys.Admissible(state)
 		allowed = allowed[:0]
 		for d := 0; d <= 9; d++ {

@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+// ServeBenchConfig parameterizes the serving load test.
+type ServeBenchConfig struct {
+	Requests    int           // total requests (default 128)
+	Concurrency int           // concurrent clients (default 16)
+	BatchWindow time.Duration // micro-batch window (default 2ms)
+	MaxBatch    int           // records per batch cap (default 32)
+	Workers     int           // decode pool size (default Scale.Workers)
+}
+
+func (c *ServeBenchConfig) fill(sc ScaleConfig) {
+	if c.Requests <= 0 {
+		c.Requests = 128
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 16
+	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.Workers <= 0 {
+		c.Workers = sc.Workers
+	}
+}
+
+// ServeReport is the machine-readable serving benchmark written as
+// BENCH_3.json: end-to-end HTTP throughput and latency through lejitd's
+// micro-batching queue, plus the batching efficiency the daemon achieved.
+type ServeReport struct {
+	Requests    int `json:"requests"`
+	Concurrency int `json:"concurrency"`
+	Errors      int `json:"errors"`
+	NumCPU      int `json:"num_cpu"`
+	GoMaxProcs  int `json:"gomaxprocs"`
+
+	BatchWindowMs float64 `json:"batch_window_ms"`
+	MaxBatch      int     `json:"max_batch"`
+	Workers       int     `json:"workers"`
+
+	DurationMs     float64 `json:"duration_ms"`
+	RequestsPerSec float64 `json:"requests_per_sec"`
+	P50Ms          float64 `json:"p50_ms"`
+	P95Ms          float64 `json:"p95_ms"`
+	P99Ms          float64 `json:"p99_ms"`
+
+	Batches       uint64  `json:"batches"`
+	MeanBatchSize float64 `json:"mean_batch_size"`
+	Tokens        uint64  `json:"tokens"`
+	TokensPerSec  float64 `json:"tokens_per_sec"`
+	SolverChecks  uint64  `json:"solver_checks"`
+
+	// Warning flags conditions that make parts of the report meaningless
+	// (e.g. GOMAXPROCS=1 serializes the decode pool).
+	Warning string `json:"warning,omitempty"`
+}
+
+// RunServeBench stands up a real lejitd server on an ephemeral port and
+// drives it with cfg.Concurrency HTTP clients issuing imputation requests
+// over the test split, measuring end-to-end latency percentiles and
+// throughput — the serving-path analogue of RunPerf.
+func RunServeBench(env *Env, cfg ServeBenchConfig) (*ServeReport, error) {
+	cfg.fill(env.Scale)
+	eng, err := env.EngineFor(env.ImputeRules, core.LeJIT)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := server.New(server.Config{
+		Engine: eng, Rules: env.ImputeRules, Schema: env.Schema,
+		BatchWindow: cfg.BatchWindow, MaxBatch: cfg.MaxBatch, Workers: cfg.Workers,
+		QueueDepth: cfg.Requests + cfg.Concurrency, // benchmark measures latency, not shedding
+		Seed:       env.Scale.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ctx, l) }()
+	base := "http://" + l.Addr().String()
+
+	test := env.TestRecordsN(0)
+	if len(test) == 0 {
+		return nil, fmt.Errorf("experiments: no test records for serve bench")
+	}
+	bodies := make([][]byte, cfg.Requests)
+	for i := range bodies {
+		known := CoarseOf(test[i%len(test)])
+		req := map[string]any{"known": known, "seed": env.Scale.Seed + int64(i)}
+		b, err := json.Marshal(req)
+		if err != nil {
+			return nil, err
+		}
+		bodies[i] = b
+	}
+
+	env.Logf("experiments: serve bench — %d requests, %d clients, window %v, max batch %d",
+		cfg.Requests, cfg.Concurrency, cfg.BatchWindow, cfg.MaxBatch)
+
+	client := &http.Client{}
+	latencies := make([]float64, cfg.Requests) // ms
+	var errs atomic.Int64
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < cfg.Concurrency; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= cfg.Requests {
+					return
+				}
+				t0 := time.Now()
+				resp, err := client.Post(base+"/v1/impute", "application/json", bytes.NewReader(bodies[i]))
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				var dr server.DecodeResponse
+				decErr := json.NewDecoder(resp.Body).Decode(&dr)
+				resp.Body.Close()
+				latencies[i] = float64(time.Since(t0).Microseconds()) / 1000
+				if decErr != nil || resp.StatusCode != http.StatusOK || !dr.Compliant {
+					errs.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	snap := srv.Metrics().Snapshot()
+	cancel()
+	if err := <-serveErr; err != nil {
+		return nil, fmt.Errorf("experiments: serve bench server: %w", err)
+	}
+
+	sort.Float64s(latencies)
+	rep := &ServeReport{
+		Requests: cfg.Requests, Concurrency: cfg.Concurrency, Errors: int(errs.Load()),
+		NumCPU: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0),
+		BatchWindowMs: float64(cfg.BatchWindow.Microseconds()) / 1000,
+		MaxBatch:      cfg.MaxBatch, Workers: cfg.Workers,
+		DurationMs:    float64(elapsed.Microseconds()) / 1000,
+		P50Ms:         percentile(latencies, 0.50),
+		P95Ms:         percentile(latencies, 0.95),
+		P99Ms:         percentile(latencies, 0.99),
+		Batches:       snap.Batches,
+		MeanBatchSize: snap.MeanBatchSize,
+		Tokens:        snap.Tokens,
+		SolverChecks:  snap.SolverChecks,
+	}
+	if elapsed > 0 {
+		rep.RequestsPerSec = float64(cfg.Requests) / elapsed.Seconds()
+		rep.TokensPerSec = float64(snap.Tokens) / elapsed.Seconds()
+	}
+	if rep.GoMaxProcs == 1 {
+		rep.Warning = fmt.Sprintf("GOMAXPROCS=1 (NumCPU=%d): the decode pool and HTTP clients share one CPU; latency percentiles reflect serialization", rep.NumCPU)
+	}
+	return rep, nil
+}
+
+// percentile reads the p-quantile from ascending xs (nearest-rank).
+func percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	i := int(p*float64(len(xs))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(xs) {
+		i = len(xs) - 1
+	}
+	return xs[i]
+}
+
+// WriteJSON writes the report to path, pretty-printed.
+func (r *ServeReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ServeTable renders the report for the text output.
+func ServeTable(r *ServeReport) Table {
+	t := Table{
+		Title:  "Serve: lejitd end-to-end throughput (micro-batched imputation over HTTP)",
+		Header: []string{"metric", "value"},
+	}
+	t.Rows = append(t.Rows,
+		[]string{"requests", itoa(r.Requests)},
+		[]string{"concurrency", itoa(r.Concurrency)},
+		[]string{"errors", itoa(r.Errors)},
+		[]string{"throughput", f1(r.RequestsPerSec) + " req/s"},
+		[]string{"p50 latency", f1(r.P50Ms) + " ms"},
+		[]string{"p95 latency", f1(r.P95Ms) + " ms"},
+		[]string{"p99 latency", f1(r.P99Ms) + " ms"},
+		[]string{"mean batch size", f1(r.MeanBatchSize)},
+		[]string{"batches", itoa64(r.Batches)},
+		[]string{"tokens/sec", f1(r.TokensPerSec)},
+	)
+	return t
+}

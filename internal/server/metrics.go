@@ -1,0 +1,220 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// histogram is a fixed-bucket Prometheus histogram. Buckets are cumulative
+// upper bounds; a +Inf bucket is implicit (Count).
+type histogram struct {
+	bounds []float64
+	counts []uint64
+	sum    float64
+	count  uint64
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]uint64, len(bounds))}
+}
+
+func (h *histogram) observe(v float64) {
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+		}
+	}
+	h.sum += v
+	h.count++
+}
+
+// Mean returns the average observation (0 when empty).
+func (h *histogram) mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+func (h *histogram) write(w io.Writer, name string) {
+	for i, b := range h.bounds {
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, strconv.FormatFloat(b, 'g', -1, 64), h.counts[i])
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.count)
+	fmt.Fprintf(w, "%s_sum %g\n", name, h.sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.count)
+}
+
+// Metrics is the daemon's hand-rolled Prometheus registry: a handful of
+// counters, one gauge, and two histograms — enough for dashboards and the
+// acceptance tests without pulling in a client library.
+type Metrics struct {
+	mu sync.Mutex
+	// requests[route][code] counts completed HTTP requests.
+	requests map[string]map[int]uint64
+	rejected uint64 // 429 backpressure rejections (also in requests)
+	timeouts uint64 // requests that hit their deadline
+	batches  uint64 // core.DecodeRequests calls issued by the batcher
+
+	batchSize *histogram // records per batch
+	latency   *histogram // end-to-end request seconds (enqueue → reply)
+
+	tokens       uint64 // decoded tokens (from core.Stats)
+	solverChecks uint64 // SMT checks attributable to served decodes
+
+	queueDepth func() int // sampled at scrape time
+}
+
+func newMetrics(queueDepth func() int) *Metrics {
+	return &Metrics{
+		requests:   map[string]map[int]uint64{},
+		batchSize:  newHistogram([]float64{1, 2, 4, 8, 16, 32, 64}),
+		latency:    newHistogram([]float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}),
+		queueDepth: queueDepth,
+	}
+}
+
+func (m *Metrics) countRequest(route string, code int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byCode := m.requests[route]
+	if byCode == nil {
+		byCode = map[int]uint64{}
+		m.requests[route] = byCode
+	}
+	byCode[code]++
+	if code == 429 {
+		m.rejected++
+	}
+}
+
+func (m *Metrics) countTimeout() {
+	m.mu.Lock()
+	m.timeouts++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) observeBatch(size int) {
+	m.mu.Lock()
+	m.batches++
+	m.batchSize.observe(float64(size))
+	m.mu.Unlock()
+}
+
+func (m *Metrics) observeLatency(seconds float64) {
+	m.mu.Lock()
+	m.latency.observe(seconds)
+	m.mu.Unlock()
+}
+
+func (m *Metrics) countDecode(tokens int, solverChecks uint64) {
+	m.mu.Lock()
+	m.tokens += uint64(tokens)
+	m.solverChecks += solverChecks
+	m.mu.Unlock()
+}
+
+// Snapshot is a programmatic view of the counters, for tests and the serve
+// benchmark (which would otherwise scrape and parse the text endpoint).
+type Snapshot struct {
+	Requests      map[string]map[int]uint64
+	Rejected      uint64
+	Timeouts      uint64
+	Batches       uint64
+	BatchedRecs   uint64
+	MeanBatchSize float64
+	Tokens        uint64
+	SolverChecks  uint64
+	QueueDepth    int
+}
+
+// Snapshot returns a copy of the current counter state.
+func (m *Metrics) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Snapshot{
+		Requests: make(map[string]map[int]uint64, len(m.requests)),
+		Rejected: m.rejected,
+		Timeouts: m.timeouts,
+		Batches:  m.batches,
+		// One histogram observation per batch, valued at its size: the sum
+		// is total records batched and the mean is records per batch.
+		BatchedRecs:   uint64(m.batchSize.sum),
+		MeanBatchSize: m.batchSize.mean(),
+		Tokens:        m.tokens,
+		SolverChecks:  m.solverChecks,
+	}
+	for route, byCode := range m.requests {
+		cp := make(map[int]uint64, len(byCode))
+		for c, n := range byCode {
+			cp[c] = n
+		}
+		s.Requests[route] = cp
+	}
+	if m.queueDepth != nil {
+		s.QueueDepth = m.queueDepth()
+	}
+	return s
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format, in deterministic order.
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP lejitd_requests_total Completed HTTP requests by route and status code.")
+	fmt.Fprintln(w, "# TYPE lejitd_requests_total counter")
+	routes := make([]string, 0, len(m.requests))
+	for r := range m.requests {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+	for _, r := range routes {
+		codes := make([]int, 0, len(m.requests[r]))
+		for c := range m.requests[r] {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			fmt.Fprintf(w, "lejitd_requests_total{route=%q,code=\"%d\"} %d\n", r, c, m.requests[r][c])
+		}
+	}
+
+	fmt.Fprintln(w, "# HELP lejitd_rejected_total Requests rejected by queue backpressure (HTTP 429).")
+	fmt.Fprintln(w, "# TYPE lejitd_rejected_total counter")
+	fmt.Fprintf(w, "lejitd_rejected_total %d\n", m.rejected)
+
+	fmt.Fprintln(w, "# HELP lejitd_timeouts_total Requests that hit their deadline before a result.")
+	fmt.Fprintln(w, "# TYPE lejitd_timeouts_total counter")
+	fmt.Fprintf(w, "lejitd_timeouts_total %d\n", m.timeouts)
+
+	fmt.Fprintln(w, "# HELP lejitd_batches_total Micro-batches dispatched to the decode pool.")
+	fmt.Fprintln(w, "# TYPE lejitd_batches_total counter")
+	fmt.Fprintf(w, "lejitd_batches_total %d\n", m.batches)
+
+	if m.queueDepth != nil {
+		fmt.Fprintln(w, "# HELP lejitd_queue_depth Requests waiting in the admission queue.")
+		fmt.Fprintln(w, "# TYPE lejitd_queue_depth gauge")
+		fmt.Fprintf(w, "lejitd_queue_depth %d\n", m.queueDepth())
+	}
+
+	fmt.Fprintln(w, "# HELP lejitd_batch_size Records coalesced per micro-batch.")
+	fmt.Fprintln(w, "# TYPE lejitd_batch_size histogram")
+	m.batchSize.write(w, "lejitd_batch_size")
+
+	fmt.Fprintln(w, "# HELP lejitd_request_duration_seconds End-to-end decode request latency.")
+	fmt.Fprintln(w, "# TYPE lejitd_request_duration_seconds histogram")
+	m.latency.write(w, "lejitd_request_duration_seconds")
+
+	fmt.Fprintln(w, "# HELP lejitd_tokens_total Tokens decoded for served requests.")
+	fmt.Fprintln(w, "# TYPE lejitd_tokens_total counter")
+	fmt.Fprintf(w, "lejitd_tokens_total %d\n", m.tokens)
+
+	fmt.Fprintln(w, "# HELP lejitd_solver_checks_total SMT solver checks attributable to served requests.")
+	fmt.Fprintln(w, "# TYPE lejitd_solver_checks_total counter")
+	fmt.Fprintf(w, "lejitd_solver_checks_total %d\n", m.solverChecks)
+}

@@ -1,0 +1,438 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rules"
+)
+
+// Config assembles a Server. Engine is required; everything else has
+// serving-sane defaults.
+type Config struct {
+	// Engine decodes. It is used only from the single batcher goroutine
+	// (which hands per-worker clones to the pool), so the engine's
+	// no-concurrency contract holds.
+	Engine *core.Engine
+	// Rules defines compliance for responses and /v1/check. May be nil.
+	Rules *rules.RuleSet
+	// Schema validates request records. May be nil (no validation).
+	Schema *rules.Schema
+
+	// BatchWindow is how long the batcher waits after the first request for
+	// more to coalesce (default 2ms).
+	BatchWindow time.Duration
+	// MaxBatch caps records per micro-batch (default 32).
+	MaxBatch int
+	// QueueDepth bounds the admission queue; a full queue answers 429 with
+	// Retry-After (default 256).
+	QueueDepth int
+	// Workers is the decode pool size per batch (default GOMAXPROCS).
+	Workers int
+	// Timeout is the default per-request deadline (default 30s); requests
+	// may lower or raise it via timeout_ms.
+	Timeout time.Duration
+	// DrainTimeout bounds graceful shutdown (default 30s).
+	DrainTimeout time.Duration
+	// MaxBodyBytes caps request bodies (default 1 MiB).
+	MaxBodyBytes int64
+	// Seed is the base for server-assigned RNG seeds when a request does
+	// not pin its own.
+	Seed int64
+	// Logf, when set, receives serving log lines.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fill() {
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+}
+
+// job is one admitted decode request waiting for the batcher.
+type job struct {
+	ctx    context.Context
+	prompt rules.Record // nil → unconditional generation
+	seed   int64
+	decode core.DecodeCtxFn
+	start  time.Time
+	// resp is buffered (cap 1): the batcher never blocks delivering to a
+	// handler that already gave up on its deadline.
+	resp chan jobResult
+}
+
+type jobResult struct {
+	res       core.Result
+	err       error
+	batchSize int
+}
+
+// Server is the lejitd HTTP handler plus its micro-batching pipeline.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	queue   chan *job
+	metrics *Metrics
+	started time.Time
+
+	draining  atomic.Bool
+	seedSeq   atomic.Int64
+	stop      chan struct{} // tells the batcher to exit
+	batcherWG sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// New builds a Server and starts its batcher goroutine. Callers must Close
+// it (Serve does so on return).
+func New(cfg Config) (*Server, error) {
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("server: Engine is required")
+	}
+	cfg.fill()
+	s := &Server{
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		queue:   make(chan *job, cfg.QueueDepth),
+		started: time.Now(),
+		stop:    make(chan struct{}),
+	}
+	s.metrics = newMetrics(func() int { return len(s.queue) })
+	s.mux.HandleFunc("/v1/impute", func(w http.ResponseWriter, r *http.Request) { s.handleDecode(w, r, "impute") })
+	s.mux.HandleFunc("/v1/generate", func(w http.ResponseWriter, r *http.Request) { s.handleDecode(w, r, "generate") })
+	s.mux.HandleFunc("/v1/check", s.handleCheck)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.batcherWG.Add(1)
+	go s.batcher()
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Metrics exposes the server's counters (tests, benchmarks).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Close stops the batcher. Safe to call more than once. Requests admitted
+// after Close time out rather than decode; call only once handlers are
+// drained (Serve sequences this correctly).
+func (s *Server) Close() {
+	s.closeOnce.Do(func() { close(s.stop) })
+	s.batcherWG.Wait()
+}
+
+// Serve accepts connections on l until ctx is cancelled, then drains: new
+// requests are refused with 503, in-flight requests finish (bounded by
+// DrainTimeout), and only then is the batcher stopped. This is the SIGTERM
+// path — cmd/lejitd passes a signal-cancelled context.
+func (s *Server) Serve(ctx context.Context, l net.Listener) error {
+	hs := &http.Server{Handler: s}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(l) }()
+	select {
+	case err := <-errc:
+		s.Close()
+		return err
+	case <-ctx.Done():
+	}
+	s.logf("server: draining (%d queued)", len(s.queue))
+	s.draining.Store(true)
+	sctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	err := hs.Shutdown(sctx) // waits for in-flight handlers
+	s.Close()
+	s.logf("server: drained")
+	return err
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// batcher is the single consumer of the admission queue: it takes the first
+// waiting job, keeps the window open for BatchWindow (or until MaxBatch),
+// and dispatches the batch to core.DecodeRequests so concurrent callers
+// share one worker-pool invocation and its per-clone solver state.
+func (s *Server) batcher() {
+	defer s.batcherWG.Done()
+	for {
+		var first *job
+		select {
+		case first = <-s.queue:
+		case <-s.stop:
+			return
+		}
+		batch := append(make([]*job, 0, s.cfg.MaxBatch), first)
+		timer := time.NewTimer(s.cfg.BatchWindow)
+	collect:
+		for len(batch) < s.cfg.MaxBatch {
+			select {
+			case j := <-s.queue:
+				batch = append(batch, j)
+			case <-timer.C:
+				break collect
+			}
+		}
+		timer.Stop()
+		s.runBatch(batch)
+	}
+}
+
+// runBatch decodes one micro-batch and delivers each job's result.
+func (s *Server) runBatch(batch []*job) {
+	s.metrics.observeBatch(len(batch))
+	reqs := make([]core.BatchRequest, len(batch))
+	for i, j := range batch {
+		seed := j.seed
+		reqs[i] = core.BatchRequest{Prompt: j.prompt, Ctx: j.ctx, Seed: &seed, Decode: j.decode}
+	}
+	out, err := s.cfg.Engine.DecodeRequests(context.Background(), reqs, s.cfg.Workers, 0, nil)
+	if err != nil {
+		// Batch-level failure (engine cloning): fail every job.
+		for _, j := range batch {
+			j.resp <- jobResult{err: err, batchSize: len(batch)}
+		}
+		return
+	}
+	for i, j := range batch {
+		j.resp <- jobResult{res: out[i].Res, err: out[i].Err, batchSize: len(batch)}
+	}
+}
+
+// decodeFnFor maps a request mode to its decode function. The baselines are
+// not token-interruptible, so they only honor cancellation between attempts.
+func (s *Server) decodeFnFor(mode string) (core.DecodeCtxFn, error) {
+	var base core.DecodeFn
+	switch mode {
+	case ModeLeJIT:
+		return nil, nil // engine default: ctx-aware guided decoding
+	case ModeVanilla:
+		base = (*core.Engine).Vanilla
+	case ModeRejection:
+		base = (*core.Engine).Rejection
+	case ModePostHoc:
+		base = (*core.Engine).PostHoc
+	default:
+		return nil, badRequestf("unknown mode %q", mode)
+	}
+	return func(ctx context.Context, e *core.Engine, known rules.Record, rng *rand.Rand) (core.Result, error) {
+		if err := ctx.Err(); err != nil {
+			return core.Result{}, err
+		}
+		return base(e, known, rng)
+	}, nil
+}
+
+// handleDecode serves /v1/impute and /v1/generate.
+func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request, route string) {
+	code := s.serveDecode(w, r, route)
+	s.metrics.countRequest(route, code)
+}
+
+func (s *Server) serveDecode(w http.ResponseWriter, r *http.Request, route string) int {
+	if r.Method != http.MethodPost {
+		return writeError(w, http.StatusMethodNotAllowed, "POST required", "")
+	}
+	if s.draining.Load() {
+		return writeError(w, http.StatusServiceUnavailable, "server is draining", "draining")
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	req, err := ParseDecodeRequest(body, s.cfg.Schema, route == "impute")
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return writeError(w, http.StatusRequestEntityTooLarge, "request body too large", "")
+		}
+		return writeError(w, http.StatusBadRequest, err.Error(), "")
+	}
+	decode, err := s.decodeFnFor(req.Mode)
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error(), "")
+	}
+
+	timeout := s.cfg.Timeout
+	if req.TimeoutMs > 0 {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	seed := s.cfg.Seed + s.seedSeq.Add(1)*7919
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+	j := &job{
+		ctx:    ctx,
+		prompt: req.Known,
+		seed:   seed,
+		decode: decode,
+		start:  time.Now(),
+		resp:   make(chan jobResult, 1),
+	}
+	// Bounded admission: never block the handler on a full queue.
+	select {
+	case s.queue <- j:
+	default:
+		w.Header().Set("Retry-After", "1")
+		return writeError(w, http.StatusTooManyRequests, "queue full", "overloaded")
+	}
+
+	select {
+	case res := <-j.resp:
+		s.metrics.observeLatency(time.Since(j.start).Seconds())
+		return s.writeDecodeResult(w, res)
+	case <-ctx.Done():
+		// The job may still be queued or decoding; its context is cancelled,
+		// so the batcher will abandon it and nobody reads resp (buffered).
+		s.metrics.observeLatency(time.Since(j.start).Seconds())
+		s.metrics.countTimeout()
+		return writeError(w, http.StatusGatewayTimeout, "deadline exceeded", "timeout")
+	}
+}
+
+func (s *Server) writeDecodeResult(w http.ResponseWriter, res jobResult) int {
+	if res.err != nil {
+		switch {
+		case errors.Is(res.err, context.DeadlineExceeded), errors.Is(res.err, context.Canceled):
+			s.metrics.countTimeout()
+			return writeError(w, http.StatusGatewayTimeout, "deadline exceeded", "timeout")
+		case isInfeasible(res.err):
+			return writeError(w, http.StatusUnprocessableEntity, res.err.Error(), "infeasible")
+		default:
+			return writeError(w, http.StatusInternalServerError, res.err.Error(), "")
+		}
+	}
+	st := res.res.Stats
+	s.metrics.countDecode(st.Tokens, st.SolverChecks)
+	out := DecodeResponse{
+		Record:    res.res.Rec,
+		Line:      s.formatLine(res.res.Rec),
+		Compliant: true,
+		BatchSize: res.batchSize,
+		Stats: StatsJSON{
+			Tokens: st.Tokens, MaskedSteps: st.MaskedSteps, ForcedSteps: st.ForcedSteps,
+			SolverChecks: st.SolverChecks, Attempts: st.Attempts,
+		},
+	}
+	if s.cfg.Rules != nil {
+		viol, err := s.cfg.Rules.Violations(res.res.Rec)
+		if err != nil {
+			return writeError(w, http.StatusInternalServerError, err.Error(), "")
+		}
+		out.Violations = viol
+		out.Compliant = len(viol) == 0
+	}
+	return writeJSON(w, http.StatusOK, out)
+}
+
+// formatLine renders a record in grammar order (digits + separators), the
+// same text format the LM was trained on.
+func (s *Server) formatLine(rec rules.Record) string {
+	var b strings.Builder
+	for _, sl := range s.cfg.Engine.Slots() {
+		vs, ok := rec[sl.Field]
+		if !ok || sl.Index >= len(vs) {
+			return ""
+		}
+		fmt.Fprintf(&b, "%d%c", vs[sl.Index], sl.Sep)
+	}
+	return b.String()
+}
+
+// handleCheck serves /v1/check: pure rule evaluation, no queue, no decode.
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	code := s.serveCheck(w, r)
+	s.metrics.countRequest("check", code)
+}
+
+func (s *Server) serveCheck(w http.ResponseWriter, r *http.Request) int {
+	if r.Method != http.MethodPost {
+		return writeError(w, http.StatusMethodNotAllowed, "POST required", "")
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	req, err := ParseCheckRequest(body, s.cfg.Schema)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return writeError(w, http.StatusRequestEntityTooLarge, "request body too large", "")
+		}
+		return writeError(w, http.StatusBadRequest, err.Error(), "")
+	}
+	if s.cfg.Rules == nil {
+		return writeError(w, http.StatusNotImplemented, "server has no rule set loaded", "")
+	}
+	viol, err := s.cfg.Rules.Violations(req.Record)
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error(), "")
+	}
+	if viol == nil {
+		viol = []string{}
+	}
+	return writeJSON(w, http.StatusOK, CheckResponse{Compliant: len(viol) == 0, Violations: viol})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"uptime_s":  time.Since(s.started).Seconds(),
+		"max_batch": s.cfg.MaxBatch,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.WritePrometheus(w)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) int {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+	return code
+}
+
+func writeError(w http.ResponseWriter, code int, msg, status string) int {
+	return writeJSON(w, code, ErrorResponse{Error: msg, Status: status})
+}
+
+// isInfeasible reports whether err is core.ErrInfeasible (no rule-compliant
+// completion exists for the prompt).
+func isInfeasible(err error) bool {
+	var inf core.ErrInfeasible
+	return errors.As(err, &inf)
+}
