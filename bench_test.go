@@ -12,6 +12,7 @@ package repro
 
 import (
 	"math/rand"
+	"strconv"
 	"sync"
 	"testing"
 
@@ -217,29 +218,33 @@ func BenchmarkFig5Generators(b *testing.B) {
 
 // --- Ablation benches -------------------------------------------------------
 
-func BenchmarkAblationOracleCacheOn(b *testing.B) {
-	benchCacheAblation(b, false)
-}
-
-func BenchmarkAblationOracleCacheOff(b *testing.B) {
-	benchCacheAblation(b, true)
-}
-
-func benchCacheAblation(b *testing.B, noCache bool) {
-	env := benchEnv(b)
-	slots, err := core.TelemetryGrammar(env.Schema, dataset.CoarseFields(), dataset.FineField)
-	if err != nil {
-		b.Fatal(err)
+// BenchmarkLockStepDecode measures a full lock-step group decode (one
+// BatchSession shared by `lanes` records) against the same records decoded
+// one at a time on the per-record path; compare ns/op across the sub-benches
+// scaled by lane count.
+func BenchmarkLockStepDecode(b *testing.B) {
+	eng := benchEngine(b, benchEnv(b).ImputeRules, core.LeJIT)
+	prompts := imputePrompts(b)
+	for _, lanes := range []int{1, 4, 8} {
+		b.Run(strconv.Itoa(lanes)+"lanes", func(b *testing.B) {
+			reqs := make([]core.BatchRequest, lanes)
+			for i := range reqs {
+				reqs[i].Prompt = prompts[i%len(prompts)]
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out, err := eng.DecodeRequests(nil, reqs, 1, int64(i), nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range out {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+		})
 	}
-	eng, err := core.NewEngine(core.Config{
-		LM: core.WrapNN(env.Model), Tok: env.Tok, Schema: env.Schema,
-		Rules: env.ImputeRules, Slots: slots, Mode: core.LeJIT,
-		Temperature: env.Scale.Temperature, NoOracleCache: noCache,
-	})
-	if err != nil {
-		b.Fatal(err)
-	}
-	benchImputeMethod(b, eng.Impute)
 }
 
 func BenchmarkAblationStructureOnly(b *testing.B) {

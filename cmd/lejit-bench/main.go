@@ -152,11 +152,6 @@ func run() error {
 			return err
 		}
 		fmt.Println(experiments.AblationTable("Ablation: rule-set size sweep (violations measured vs the FULL mined set)", ab).Render())
-		cb, err := experiments.RunCacheAblation(env)
-		if err != nil {
-			return err
-		}
-		fmt.Println(experiments.AblationTable("Ablation: per-slot oracle cache", cb).Render())
 		db, err := experiments.RunDecodeStrategyAblation(env, nil)
 		if err != nil {
 			return err

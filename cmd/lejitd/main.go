@@ -23,6 +23,8 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -57,6 +59,7 @@ func run() error {
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown bound after SIGTERM")
 	seed := flag.Int64("seed", 1, "base seed for requests that do not pin their own")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060); off when empty, never on the public listener")
 	flag.Parse()
 
 	eng, rs, schema, err := buildEngine(*modelPath, *rulePath, *demo, *temp)
@@ -82,6 +85,26 @@ func run() error {
 	// requests (bounded by -drain-timeout) before returning.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *pprofAddr != "" {
+		// Profiling stays on its own listener with its own explicit mux.
+		// (The net/http/pprof import also registers on DefaultServeMux, but
+		// the public listener serves the server package's private mux, so
+		// the debug handlers are reachable only here.)
+		pl, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		psrv := &http.Server{Handler: pmux}
+		go psrv.Serve(pl)
+		defer psrv.Close()
+		logf("lejitd: pprof on %s", pl.Addr())
+	}
 	logf("lejitd: serving on %s (batch window %v, max batch %d, queue %d)",
 		l.Addr(), *batchWindow, *maxBatch, *queueDepth)
 	return srv.Serve(ctx, l)

@@ -47,10 +47,23 @@ type BatchResult struct {
 	Err   error
 }
 
-// batchSeed derives the RNG seed for prompt i. Seeding by index rather than
-// by decode order is what makes batch output independent of worker count
-// and scheduling.
-func batchSeed(seed int64, i int) int64 { return seed + int64(i)*7919 }
+// MixSeed derives the RNG seed for record i of a batch seeded with seed.
+// Seeding by index rather than by decode order is what makes batch output
+// independent of worker count and scheduling. The finalizer is splitmix64:
+// unlike the earlier affine seed+i*7919 scheme, distinct (seed, i) pairs
+// cannot collide by construction of a small seed delta, so two nearby batch
+// seeds never share per-record RNG streams.
+func MixSeed(seed int64, i int) int64 {
+	z := uint64(seed) + (uint64(i)+1)*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+func batchSeed(seed int64, i int) int64 { return MixSeed(seed, i) }
 
 // defaultDecode selects ImputeCtx/GenerateCtx by prompt presence.
 func defaultDecode(ctx context.Context, e *Engine, known rules.Record, rng *rand.Rand) (Result, error) {
@@ -64,12 +77,12 @@ func defaultDecode(ctx context.Context, e *Engine, known rules.Record, rng *rand
 // order. A nil prompt means unconditional generation; a nil decode selects
 // Generate/Impute accordingly. workers < 1 means runtime.GOMAXPROCS(0).
 //
-// Determinism contract: prompt i is decoded with rand.NewSource(seed +
-// i*7919) on an engine equivalent to the receiver (the receiver itself when
-// workers == 1, a Clone otherwise), so for a fixed seed the returned records
-// are byte-identical for every worker count. Engines are single-threaded;
-// each worker gets its own clone, while the LM weights and the compiled rule
-// formula are shared read-only.
+// Determinism contract: prompt i is decoded with
+// rand.NewSource(MixSeed(seed, i)) on an engine equivalent to the receiver
+// (the receiver itself when workers == 1, a Clone otherwise), so for a fixed
+// seed the returned records are byte-identical for every worker count.
+// Engines are single-threaded; each worker gets its own clone, while the LM
+// weights and the compiled rule formula are shared read-only.
 func (e *Engine) DecodeBatch(prompts []rules.Record, workers int, seed int64, decode DecodeFn) ([]BatchResult, error) {
 	var dc DecodeCtxFn
 	if decode != nil {
@@ -94,15 +107,24 @@ func (e *Engine) DecodeBatchCtx(ctx context.Context, prompts []rules.Record, wor
 // DecodeRequests is the most general batch entry point: each request may
 // carry its own context, seed, and decode function (see BatchRequest). It
 // preserves DecodeBatch's determinism contract — request i without an
-// explicit seed uses rand.NewSource(seed + i*7919) — while letting a serving
-// layer cancel or time out individual records without aborting the batch.
-// The returned error reports only batch-level failures (engine cloning);
-// per-record failures, including context cancellation, land in
+// explicit seed uses rand.NewSource(MixSeed(seed, i)) — while letting a
+// serving layer cancel or time out individual records without aborting the
+// batch. The returned error reports only batch-level failures (engine
+// cloning); per-record failures, including context cancellation, land in
 // BatchResult.Err.
+//
+// When the engine's LM implements BatchLM, the batch-level decode function
+// is the default guided decoder, and at least two requests carry no
+// per-request Decode override, those requests are decoded lock-step through
+// a shared BatchSession (lockstep.go): each transformer weight block is
+// streamed once per token step for the whole group instead of once per
+// record. The determinism contract is unchanged — outputs are bit-identical
+// to the per-record path for every batch composition.
 func (e *Engine) DecodeRequests(ctx context.Context, reqs []BatchRequest, workers int, seed int64, decode DecodeCtxFn) ([]BatchResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	defaultPath := decode == nil
 	if decode == nil {
 		decode = defaultDecode
 	}
@@ -119,29 +141,21 @@ func (e *Engine) DecodeRequests(ctx context.Context, reqs []BatchRequest, worker
 	if len(reqs) == 0 {
 		return out, nil
 	}
-	run := func(eng *Engine, i int) {
-		rctx := reqs[i].Ctx
-		if rctx == nil {
-			rctx = ctx
+	if blm, ok := e.cfg.LM.(BatchLM); ok && defaultPath {
+		eligible := 0
+		for i := range reqs {
+			if reqs[i].Decode == nil {
+				eligible++
+			}
 		}
-		if err := rctx.Err(); err != nil {
-			out[i].Err = err
-			return
+		if eligible >= 2 {
+			e.decodeRequestsLockStep(ctx, reqs, workers, seed, decode, out, blm)
+			return out, nil
 		}
-		s := batchSeed(seed, i)
-		if reqs[i].Seed != nil {
-			s = *reqs[i].Seed
-		}
-		d := reqs[i].Decode
-		if d == nil {
-			d = decode
-		}
-		rng := rand.New(rand.NewSource(s))
-		out[i].Res, out[i].Err = d(rctx, eng, reqs[i].Prompt, rng)
 	}
 	if workers == 1 {
 		for i := range reqs {
-			run(e, i)
+			e.runRequest(ctx, reqs, i, seed, decode, e, out)
 		}
 		return out, nil
 	}
@@ -161,7 +175,7 @@ func (e *Engine) DecodeRequests(ctx context.Context, reqs []BatchRequest, worker
 		go func(eng *Engine) {
 			defer wg.Done()
 			for i := range idx {
-				run(eng, i)
+				e.runRequest(ctx, reqs, i, seed, decode, eng, out)
 			}
 		}(eng)
 	}
@@ -171,6 +185,30 @@ func (e *Engine) DecodeRequests(ctx context.Context, reqs []BatchRequest, worker
 	close(idx)
 	wg.Wait()
 	return out, nil
+}
+
+// runRequest decodes reqs[i] on eng via the per-record path, resolving the
+// request's context, seed, and decode overrides. Shared by the worker pool
+// above and the lock-step scheduler's fallback lanes.
+func (e *Engine) runRequest(ctx context.Context, reqs []BatchRequest, i int, seed int64, decode DecodeCtxFn, eng *Engine, out []BatchResult) {
+	rctx := reqs[i].Ctx
+	if rctx == nil {
+		rctx = ctx
+	}
+	if err := rctx.Err(); err != nil {
+		out[i].Err = err
+		return
+	}
+	s := batchSeed(seed, i)
+	if reqs[i].Seed != nil {
+		s = *reqs[i].Seed
+	}
+	d := reqs[i].Decode
+	if d == nil {
+		d = decode
+	}
+	rng := rand.New(rand.NewSource(s))
+	out[i].Res, out[i].Err = d(rctx, eng, reqs[i].Prompt, rng)
 }
 
 // BatchImpute builds an engine from cfg and imputes every prompt via

@@ -19,6 +19,7 @@ import (
 	"math/rand"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/nn"
 	"repro/internal/rules"
@@ -42,11 +43,40 @@ type LM interface {
 	NewSession() Session
 }
 
-// nnLM adapts *nn.Model to the LM interface.
+// BatchSession is the lock-step analogue of Session: one forward pass
+// advances many independent decoding lanes at once, so the LM's weights are
+// streamed from memory once per token step instead of once per record.
+// Lanes are ragged — any subset may be advanced per call, each at its own
+// position.
+type BatchSession interface {
+	// AppendBatch feeds toks[i] to lanes[i] for every i. Implementations
+	// must validate all lanes before mutating any state; a per-lane failure
+	// (e.g. context-length overflow) is reported via an error that unwraps
+	// to *nn.LaneError, leaving the batch untouched so the caller can retire
+	// the lane and retry the rest.
+	AppendBatch(lanes, toks []int) error
+	// Logits returns lane's next-token logits after its last step; the
+	// engine reads but does not retain the returned slice.
+	Logits(lane int) []float32
+	// Len reports the number of tokens lane has consumed.
+	Len(lane int) int
+}
+
+// BatchLM is an LM whose sessions can be stepped in lock-step. When the
+// engine's LM implements it, DecodeRequests routes eligible records through
+// the batched GEMM path (lockstep.go); otherwise every record decodes on
+// its own Session.
+type BatchLM interface {
+	LM
+	NewBatchSession(n int) BatchSession
+}
+
+// nnLM adapts *nn.Model to the LM and BatchLM interfaces.
 type nnLM struct{ m *nn.Model }
 
-func (a nnLM) VocabSize() int      { return a.m.Cfg.Vocab }
-func (a nnLM) NewSession() Session { return a.m.NewSession() }
+func (a nnLM) VocabSize() int                     { return a.m.Cfg.Vocab }
+func (a nnLM) NewSession() Session                { return a.m.NewSession() }
+func (a nnLM) NewBatchSession(n int) BatchSession { return a.m.NewBatchSession(n) }
 
 // WrapNN adapts a trained transformer to the engine's LM interface.
 func WrapNN(m *nn.Model) LM { return nnLM{m: m} }
@@ -124,9 +154,6 @@ type Config struct {
 	MaxNodes    uint64  // solver search budget per Check (0 → solver default)
 	MaxAttempts int     // rejection-sampling attempt cap (0 → 500)
 	MaxRetries  int     // vanilla parse-retry cap (0 → 8)
-	// NoOracleCache disables per-slot memoization of range-feasibility
-	// queries (ablation: measures how much the cache saves, DESIGN.md §3).
-	NoOracleCache bool
 	// NoIntervalFastPath disables the per-slot interval fast path
 	// (DESIGN.md §6), forcing every range probe through the solver as the
 	// seed implementation did. Ablation knob; decoded output is identical
@@ -154,14 +181,14 @@ type Stats struct {
 	Malformed    int    // free-sampling outputs that failed to parse
 	Repaired     bool   // post-hoc repair modified the output
 	// OracleQueries counts range-feasibility probes issued by the guided
-	// decoder; OracleHits counts how many were served from the engine's
-	// epoch-keyed cache without a solver call.
+	// decoder.
 	OracleQueries uint64
-	OracleHits    uint64
 	// OracleFastPath counts probes answered locally from the slot's
-	// interval state (no solver call, no cache lookup); OracleProbes counts
-	// probes that reached the solver. FastPathMismatches counts
-	// ValidateFastPath disagreements — nonzero means a soundness bug.
+	// interval state (no solver call); OracleProbes counts probes that
+	// reached the solver — the two partition OracleQueries. (An epoch-keyed
+	// probe cache once sat between them; it was removed after BENCH_2
+	// measured a 0.17% hit rate, see DESIGN.md §6.) FastPathMismatches
+	// counts ValidateFastPath disagreements — nonzero means a soundness bug.
 	OracleFastPath     uint64
 	OracleProbes       uint64
 	FastPathMismatches uint64
@@ -212,11 +239,6 @@ type Engine struct {
 	// digitTok[d] is the token id of digit d.
 	digitTok  [10]int
 	maxDigits map[string]int // per field, from the domain's upper bound
-	// oracleCache memoizes range-feasibility probes keyed by solver epoch:
-	// entries stay valid exactly while the assertion stack is unchanged,
-	// so no explicit invalidation is needed. Reset per record in guided()
-	// to bound growth.
-	oracleCache map[oracleKey]bool
 	// lastModel is the most recent model the solver produced, valid while
 	// the epoch matches lastModelEpoch; it seeds each slot oracle's witness
 	// so a slot's first probe (HasPath) usually costs no solver check.
@@ -227,13 +249,11 @@ type Engine struct {
 	// attempt (oracle.go). Shared across records: the rule formula never
 	// changes after construction.
 	varConjuncts map[smt.Var][]smt.Formula
-}
-
-// oracleKey identifies one range-feasibility query against one solver state.
-type oracleKey struct {
-	epoch  uint64
-	v      smt.Var
-	lo, hi int64
+	// poolMu guards pool, a free list of idle clones used by the lock-step
+	// scheduler (lockstep.go) so per-lane engines are cloned once and then
+	// recycled across batches. Only the root engine of a clone family pools.
+	poolMu sync.Mutex
+	pool   []*Engine
 }
 
 // NewEngine validates the configuration, compiles the rules, and returns a
@@ -265,7 +285,7 @@ func newEngine(cfg Config, ruleFormula smt.Formula) (*Engine, error) {
 		return nil, fmt.Errorf("core: LM vocab %d != tokenizer %d", cfg.LM.VocabSize(), cfg.Tok.Size())
 	}
 
-	e := &Engine{cfg: cfg, maxDigits: map[string]int{}, oracleCache: map[oracleKey]bool{}}
+	e := &Engine{cfg: cfg, maxDigits: map[string]int{}}
 	e.digitTok = cfg.Tok.DigitIDs()
 	for d, id := range e.digitTok {
 		if id == -1 {
@@ -333,8 +353,27 @@ func (e *Engine) Rules() *rules.RuleSet { return e.cfg.Rules }
 // Slots returns the output grammar.
 func (e *Engine) Slots() []Slot { return e.cfg.Slots }
 
-// SolverStats exposes the cumulative SMT statistics.
-func (e *Engine) SolverStats() smt.Stats { return e.solver.Stats() }
+// SolverStats exposes the cumulative SMT statistics, aggregated over the
+// engine's own solver and the idle clones in its lock-step pool (lane
+// decodes run on pooled clones, so a family-wide view is what per-token
+// accounting needs). Clones checked out mid-decode are not counted; read
+// when the engine is quiescent.
+func (e *Engine) SolverStats() smt.Stats {
+	st := e.solver.Stats()
+	e.poolMu.Lock()
+	for _, c := range e.pool {
+		cs := c.solver.Stats()
+		st.Checks += cs.Checks
+		st.Nodes += cs.Nodes
+		st.Propagations += cs.Propagations
+		st.Conflicts += cs.Conflicts
+		st.OptQueries += cs.OptQueries
+		st.BaseBuilds += cs.BaseBuilds
+		st.WarmStarts += cs.WarmStarts
+	}
+	e.poolMu.Unlock()
+	return st
+}
 
 // slotVar resolves the solver variable of a slot.
 func (e *Engine) slotVar(s Slot) smt.Var {

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/rules"
+	"repro/internal/smt"
+	"repro/internal/transition"
+	"repro/internal/vocab"
+)
+
+// laneDecoder is the guided (LeJIT) decoding loop turned inside out: instead
+// of driving an LM session itself, it hands its driver one token at a time
+// (next) and is told when the LM has consumed it (advance). The per-record
+// path (Engine.guided) drives it with a plain Session; the lock-step
+// scheduler (lockstep.go) drives one laneDecoder per batch lane between
+// shared GEMM steps. Both drivers execute the same per-record sequence of
+// solver probes, RNG draws, and token decisions, so a record's output is
+// identical — bit for bit, given the NN kernels' bit-exactness — whichever
+// path decodes it.
+//
+// All solver work happens on the decoder's engine, which must be dedicated
+// to this lane until finish: the known prefix is asserted under a Push frame
+// that finish pops.
+type laneDecoder struct {
+	e     *Engine
+	ctx   context.Context
+	rng   *rand.Rand
+	known rules.Record
+
+	res          Result
+	err          error
+	checksBefore uint64
+	pushed       bool
+	finished     bool
+
+	fromSlot int
+	pending  []int // BOS + prompt tokens not yet handed to the LM
+	vals     []int64
+
+	// Per-slot state, rebuilt by beginSlot for e.cfg.Slots[slot].
+	slot       int
+	inSlot     bool
+	sys        *transition.System
+	structural *transition.System
+	state      transition.State
+	sepID      int
+	sampled    bool // whether the last token from next was sampled (vs prompt)
+	allowed    []int
+}
+
+// newLaneDecoder starts one record's guided decode on e: it asserts the
+// known prefix under a Push frame, runs the feasibility pre-check, and
+// queues BOS plus the rendered prompt for the LM. On any setup failure the
+// returned decoder is already finished with the error recorded.
+func (e *Engine) newLaneDecoder(ctx context.Context, known rules.Record, rng *rand.Rand) *laneDecoder {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ld := &laneDecoder{e: e, ctx: ctx, rng: rng, known: known}
+	prompt, fromSlot, err := e.promptFor(known)
+	if err != nil {
+		ld.fail(err)
+		return ld
+	}
+	ld.fromSlot, ld.slot = fromSlot, fromSlot
+	ld.checksBefore = e.solver.Stats().Checks
+
+	e.solver.Push()
+	ld.pushed = true
+	for f, vs := range known {
+		bv, ok := e.binding.Vars(f)
+		if !ok {
+			ld.fail(fmt.Errorf("core: known field %q not bound", f))
+			return ld
+		}
+		for i, v := range vs {
+			e.solver.Assert(smt.Eq(smt.V(bv[i]), smt.C(v)))
+		}
+	}
+	r := e.solver.Check()
+	if r.Status != smt.Sat {
+		ld.fail(ErrInfeasible{Detail: fmt.Sprintf("prompt %q (%v)", prompt, r.Status)})
+		return ld
+	}
+	// The feasibility model doubles as the first slot's witness seed.
+	e.noteModel(r.Model)
+
+	ids, err := e.cfg.Tok.Encode(prompt)
+	if err != nil {
+		ld.fail(err)
+		return ld
+	}
+	ld.pending = append(append(make([]int, 0, len(ids)+1), vocab.BOS), ids...)
+	ld.vals = make([]int64, 0, len(e.cfg.Slots)-fromSlot)
+	ld.allowed = make([]int, 0, 11)
+	return ld
+}
+
+// done reports whether the record is complete (successfully or not); once
+// done, result() holds the outcome and the solver frame has been popped.
+func (ld *laneDecoder) done() bool { return ld.finished }
+
+// result returns the decode outcome; valid once done.
+func (ld *laneDecoder) result() (Result, error) { return ld.res, ld.err }
+
+// fail finishes the lane with err.
+func (ld *laneDecoder) fail(err error) {
+	ld.err = err
+	ld.finish()
+}
+
+// finish settles the stats and pops the lane's solver frame. Idempotent; the
+// per-record driver defers it so the engine is always left clean.
+func (ld *laneDecoder) finish() {
+	if ld.finished {
+		return
+	}
+	ld.finished = true
+	ld.res.Stats.SolverChecks = ld.e.solver.Stats().Checks - ld.checksBefore
+	if ld.pushed {
+		ld.e.solver.Pop()
+		ld.pushed = false
+	}
+}
+
+// next returns the next token to feed the LM: a queued prompt token, or one
+// sampled from logits under the slot's admissible mask. logits are the LM's
+// logits after the lane's previous token and are only read once the prompt
+// has drained (BOS always precedes the first sampled token, so the first
+// call may pass nil). The caller must feed the token to the LM and then call
+// advance with it.
+func (ld *laneDecoder) next(logits []float32) (int, error) {
+	if ld.finished {
+		return 0, fmt.Errorf("core: laneDecoder.next after finish")
+	}
+	if len(ld.pending) > 0 {
+		tok := ld.pending[0]
+		ld.pending = ld.pending[1:]
+		ld.sampled = false
+		return tok, nil
+	}
+	e := ld.e
+	if !ld.inSlot {
+		if err := ld.beginSlot(); err != nil {
+			return 0, err
+		}
+	}
+	// One context check per emitted token — before this round of solver
+	// probes — so a cancelled request stops burning solver work mid-decode.
+	if err := ld.ctx.Err(); err != nil {
+		return 0, err
+	}
+	slot := e.cfg.Slots[ld.slot]
+	digits, canEnd := ld.sys.Admissible(ld.state)
+	ld.allowed = ld.allowed[:0]
+	for d := 0; d <= 9; d++ {
+		if digits[d] {
+			ld.allowed = append(ld.allowed, e.digitTok[d])
+		}
+	}
+	if canEnd {
+		ld.allowed = append(ld.allowed, ld.sepID)
+	}
+	if len(ld.allowed) == 0 {
+		// Unreachable if the lookahead invariant holds: the state was only
+		// entered because some completion existed.
+		return 0, fmt.Errorf("core: dead end at %s[%d] prefix %s (invariant breach)", slot.Field, slot.Index, ld.state)
+	}
+	sDigits, sEnd := ld.structural.Admissible(ld.state)
+	nStruct := 0
+	for d := 0; d <= 9; d++ {
+		if sDigits[d] {
+			nStruct++
+		}
+	}
+	if sEnd {
+		nStruct++
+	}
+	if len(ld.allowed) < nStruct {
+		ld.res.Stats.MaskedSteps++
+		if len(ld.allowed) == 1 {
+			ld.res.Stats.ForcedSteps++
+		}
+	}
+	tok := e.sampleMasked(logits, ld.allowed, ld.rng)
+	if e.cfg.TraceHook != nil {
+		e.cfg.TraceHook(TraceStep{
+			Field: slot.Field, Index: slot.Index, Prefix: ld.state.String(),
+			Admissible: append([]int(nil), ld.allowed...),
+			Structural: nStruct, Chosen: tok,
+		})
+	}
+	ld.sampled = true
+	return tok, nil
+}
+
+// beginSlot builds the transition system for the slot about to decode:
+// solver-backed lookahead in LeJIT mode, grammar/domain masking otherwise,
+// plus the purely structural mirror used for Masked/Forced accounting.
+func (ld *laneDecoder) beginSlot() error {
+	e := ld.e
+	slot := e.cfg.Slots[ld.slot]
+	f, _ := e.cfg.Schema.Field(slot.Field)
+	if e.cfg.Mode == StructureOnly || e.cfg.Rules == nil {
+		lo, hi := f.Lo, f.Hi
+		ld.sys = transition.New(e.maxDigits[slot.Field],
+			func(qlo, qhi int64) bool { return qlo <= hi && lo <= qhi })
+	} else {
+		// The slot oracle answers probes from per-slot interval state
+		// (oracle.go) and falls back to solver probes; batching lets it
+		// drain a candidate's whole completion union locally before any
+		// solver work.
+		so := e.newSlotOracle(e.slotVar(slot), &ld.res.Stats)
+		ld.sys = transition.NewBatch(e.maxDigits[slot.Field], so.Feasible, so.FeasibleAny)
+	}
+	if !ld.sys.HasPath() {
+		return ErrInfeasible{Detail: fmt.Sprintf("no feasible value for %s[%d]", slot.Field, slot.Index)}
+	}
+	// structural mirrors the grammar/width automaton with a trivially-true
+	// oracle, so Masked/Forced stats count only rule-driven pruning, not
+	// structural necessities like the separator after a max-width value.
+	ld.structural = transition.New(e.maxDigits[slot.Field],
+		func(lo, hi int64) bool { return lo <= f.Hi && f.Lo <= hi })
+	ld.sepID = e.cfg.Tok.ID(slot.Sep)
+	ld.state = ld.sys.Start()
+	ld.inSlot = true
+	return nil
+}
+
+// advance records that the LM consumed tok (the value next returned). It
+// performs the post-append bookkeeping: token accounting, value completion
+// on a separator (dynamic partial instantiation: the finished value is
+// asserted so the solver's view of active rules advances with generation),
+// and record assembly after the last slot.
+func (ld *laneDecoder) advance(tok int) error {
+	e := ld.e
+	if ld.sampled {
+		ld.res.Stats.Tokens++
+		if tok == ld.sepID {
+			v := ld.state.Value()
+			ld.vals = append(ld.vals, v)
+			slot := e.cfg.Slots[ld.slot]
+			e.solver.Assert(smt.Eq(smt.V(e.slotVar(slot)), smt.C(v)))
+			// If the last model already assigned the pinned value, it remains
+			// a model of the extended stack: revalidate it for the new epoch
+			// so the next slot starts with a witness.
+			if e.lastModel != nil && e.lastModel[e.slotVar(slot)] == v {
+				e.lastModelEpoch = e.solver.Epoch()
+			}
+			ld.inSlot = false
+			ld.slot++
+		} else {
+			st, err := ld.sys.Step(ld.state, e.cfg.Tok.Char(tok))
+			if err != nil {
+				return fmt.Errorf("core: stepping transition system: %w", err)
+			}
+			ld.state = st
+			return nil
+		}
+	}
+	if len(ld.pending) == 0 && !ld.inSlot && ld.slot >= len(e.cfg.Slots) {
+		ld.res.Rec = e.assemble(ld.known, ld.fromSlot, ld.vals)
+		ld.finish()
+	}
+	return nil
+}

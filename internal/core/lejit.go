@@ -2,12 +2,9 @@ package core
 
 import (
 	"context"
-	"fmt"
 	"math/rand"
 
 	"repro/internal/rules"
-	"repro/internal/smt"
-	"repro/internal/transition"
 )
 
 // Impute generates the slots not covered by known, conditioned on the known
@@ -49,154 +46,33 @@ func (e *Engine) GenerateCtx(ctx context.Context, rng *rand.Rand) (Result, error
 //     and the remainder renormalized. When the value terminates, its
 //     equality is asserted, activating/deactivating rules for later slots
 //     (dynamic partial instantiation, §3 step ①–②).
+//
+// The loop itself lives in laneDecoder (lane.go), a token-at-a-time state
+// machine that the per-record path here and the lock-step batch scheduler
+// (lockstep.go) drive identically: guided feeds it a private Session, the
+// scheduler feeds many lanes from one shared BatchSession.
 func (e *Engine) guided(ctx context.Context, known rules.Record, rng *rand.Rand) (Result, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	var res Result
-	prompt, fromSlot, err := e.promptFor(known)
-	if err != nil {
-		return res, err
-	}
-	checksBefore := e.solver.Stats().Checks
-	// Entries are keyed by solver epoch, so stale ones can never be hit;
-	// clearing per record just bounds the map's growth.
-	clear(e.oracleCache)
-
-	e.solver.Push()
-	defer e.solver.Pop()
-	for f, vs := range known {
-		bv, ok := e.binding.Vars(f)
-		if !ok {
-			return res, fmt.Errorf("core: known field %q not bound", f)
-		}
-		for i, v := range vs {
-			e.solver.Assert(smt.Eq(smt.V(bv[i]), smt.C(v)))
-		}
-	}
-	r := e.solver.Check()
-	if r.Status != smt.Sat {
-		res.Stats.SolverChecks = e.solver.Stats().Checks - checksBefore
-		return res, ErrInfeasible{Detail: fmt.Sprintf("prompt %q (%v)", prompt, r.Status)}
-	}
-	// The feasibility model doubles as the first slot's witness seed.
-	e.noteModel(r.Model)
-
-	sess, err := e.newPromptedSession(prompt)
-	if err != nil {
-		return res, err
-	}
-
-	vals := make([]int64, 0, len(e.cfg.Slots)-fromSlot)
-	for _, slot := range e.cfg.Slots[fromSlot:] {
-		v, err := e.generateValue(ctx, slot, sess, rng, &res.Stats)
-		if err != nil {
-			res.Stats.SolverChecks = e.solver.Stats().Checks - checksBefore
-			return res, err
-		}
-		vals = append(vals, v)
-		// Dynamic partial instantiation: pin the completed value so the
-		// solver's view of active rules advances with generation.
-		e.solver.Assert(smt.Eq(smt.V(e.slotVar(slot)), smt.C(v)))
-		// If the last model already assigned the pinned value, it remains a
-		// model of the extended stack: revalidate it for the new epoch so
-		// the next slot starts with a witness.
-		if e.lastModel != nil && e.lastModel[e.slotVar(slot)] == v {
-			e.lastModelEpoch = e.solver.Epoch()
-		}
-	}
-	res.Rec = e.assemble(known, fromSlot, vals)
-	res.Stats.SolverChecks = e.solver.Stats().Checks - checksBefore
-	return res, nil
-}
-
-// generateValue decodes one slot's value character by character. The context
-// is checked once per emitted token — i.e. before each round of solver
-// probes — so a cancelled request stops burning solver work mid-decode.
-func (e *Engine) generateValue(ctx context.Context, slot Slot, sess Session, rng *rand.Rand, st *Stats) (int64, error) {
-	f, _ := e.cfg.Schema.Field(slot.Field)
-	v := e.slotVar(slot)
-
-	var sys *transition.System
-	if e.cfg.Mode == StructureOnly || e.cfg.Rules == nil {
-		lo, hi := f.Lo, f.Hi
-		sys = transition.New(e.maxDigits[slot.Field],
-			func(qlo, qhi int64) bool { return qlo <= hi && lo <= qhi })
-	} else {
-		// The slot oracle answers probes from per-slot interval state
-		// (oracle.go) and falls back to epoch-cached solver probes; batching
-		// lets it drain a candidate's whole completion union locally before
-		// any solver work.
-		so := e.newSlotOracle(v, st)
-		sys = transition.NewBatch(e.maxDigits[slot.Field], so.Feasible, so.FeasibleAny)
-	}
-	if !sys.HasPath() {
-		return 0, ErrInfeasible{Detail: fmt.Sprintf("no feasible value for %s[%d]", slot.Field, slot.Index)}
-	}
-	// structural mirrors the grammar/width automaton with a trivially-true
-	// oracle, so Masked/Forced stats count only rule-driven pruning, not
-	// structural necessities like the separator after a max-width value.
-	structural := transition.New(e.maxDigits[slot.Field],
-		func(lo, hi int64) bool { return lo <= f.Hi && f.Lo <= hi })
-
-	sepID := e.cfg.Tok.ID(slot.Sep)
-	state := sys.Start()
-	allowed := make([]int, 0, 11)
-	for {
-		if err := ctx.Err(); err != nil {
-			return 0, err
-		}
-		digits, canEnd := sys.Admissible(state)
-		allowed = allowed[:0]
-		for d := 0; d <= 9; d++ {
-			if digits[d] {
-				allowed = append(allowed, e.digitTok[d])
+	ld := e.newLaneDecoder(ctx, known, rng)
+	defer ld.finish()
+	if !ld.done() {
+		sess := e.cfg.LM.NewSession()
+		var logits []float32
+		for !ld.done() {
+			tok, err := ld.next(logits)
+			if err != nil {
+				ld.fail(err)
+				break
 			}
-		}
-		if canEnd {
-			allowed = append(allowed, sepID)
-		}
-		if len(allowed) == 0 {
-			// Unreachable if the lookahead invariant holds: the state
-			// was only entered because some completion existed.
-			return 0, fmt.Errorf("core: dead end at %s[%d] prefix %s (invariant breach)", slot.Field, slot.Index, state)
-		}
-		sDigits, sEnd := structural.Admissible(state)
-		nStruct := 0
-		for d := 0; d <= 9; d++ {
-			if sDigits[d] {
-				nStruct++
+			if err := sess.Append(tok); err != nil {
+				ld.fail(err)
+				break
 			}
-		}
-		if sEnd {
-			nStruct++
-		}
-		if len(allowed) < nStruct {
-			st.MaskedSteps++
-			if len(allowed) == 1 {
-				st.ForcedSteps++
+			if err := ld.advance(tok); err != nil {
+				ld.fail(err)
+				break
 			}
-		}
-
-		tok := e.sampleMasked(sess.Logits(), allowed, rng)
-		if e.cfg.TraceHook != nil {
-			e.cfg.TraceHook(TraceStep{
-				Field: slot.Field, Index: slot.Index, Prefix: state.String(),
-				Admissible: append([]int(nil), allowed...),
-				Structural: nStruct, Chosen: tok,
-			})
-		}
-		if err := sess.Append(tok); err != nil {
-			return 0, err
-		}
-		st.Tokens++
-		if tok == sepID {
-			return state.Value(), nil
-		}
-		var err error
-		state, err = sys.Step(state, e.cfg.Tok.Char(tok))
-		if err != nil {
-			return 0, fmt.Errorf("core: stepping transition system: %w", err)
+			logits = sess.Logits()
 		}
 	}
+	return ld.result()
 }

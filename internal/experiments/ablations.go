@@ -61,37 +61,6 @@ func RunRuleSetSizeAblation(env *Env, fractions []float64) ([]AblationResult, er
 	return out, nil
 }
 
-// RunCacheAblation compares LeJIT decoding with and without the per-slot
-// oracle cache (solver-call volume and wall time).
-func RunCacheAblation(env *Env) ([]AblationResult, error) {
-	test := env.TestRecordsN(0)
-	var out []AblationResult
-	for _, noCache := range []bool{false, true} {
-		slots, err := core.TelemetryGrammar(env.Schema, dataset.CoarseFields(), dataset.FineField)
-		if err != nil {
-			return nil, err
-		}
-		eng, err := core.NewEngine(core.Config{
-			LM: core.WrapNN(env.Model), Tok: env.Tok, Schema: env.Schema,
-			Rules: env.ImputeRules, Slots: slots, Mode: core.LeJIT,
-			Temperature: env.Scale.Temperature, NoOracleCache: noCache,
-		})
-		if err != nil {
-			return nil, err
-		}
-		name := "oracle cache ON"
-		if noCache {
-			name = "oracle cache OFF"
-		}
-		res, err := runAblation(env, name, env.ImputeRules.Len(), eng, test)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, res)
-	}
-	return out, nil
-}
-
 // RunDecodeStrategyAblation compares sampling (at the configured
 // temperature) against greedy and beam-search decoding — all rule-enforced,
 // differing only in how the model's preferences are consumed.

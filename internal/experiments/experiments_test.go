@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"math/rand"
 	"strings"
 	"testing"
 
@@ -135,21 +137,37 @@ func TestRuleSetSizeAblationTiny(t *testing.T) {
 	_ = AblationTable("t", ab).Render()
 }
 
-func TestCacheAblationTiny(t *testing.T) {
+// TestLockStepDecodeTiny pins the lock-step/per-record equivalence on the
+// real trained tiny model: the same requests decoded through a shared
+// BatchSession (workers=1, one group) must byte-match solo decodes.
+func TestLockStepDecodeTiny(t *testing.T) {
 	env := tinyEnv(t)
-	ab, err := RunCacheAblation(env)
+	eng, err := env.EngineFor(env.ImputeRules, core.LeJIT)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ab) != 2 {
-		t.Fatalf("got %d rows", len(ab))
+	test := env.TestRecordsN(6)
+	reqs := make([]core.BatchRequest, len(test))
+	for i, rec := range test {
+		reqs[i].Prompt = CoarseOf(rec)
 	}
-	// Caching must not change results, only solver-call volume.
-	if ab[0].PairViolationRate != ab[1].PairViolationRate || ab[0].MAE != ab[1].MAE {
-		t.Errorf("cache changed results: %+v vs %+v", ab[0], ab[1])
+	batched, err := eng.DecodeRequests(context.Background(), reqs, 1, 99, nil)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if ab[0].SolverChecks > ab[1].SolverChecks {
-		t.Errorf("cache ON used more checks (%d) than OFF (%d)", ab[0].SolverChecks, ab[1].SolverChecks)
+	for i := range reqs {
+		solo, err := eng.ImputeCtx(context.Background(), reqs[i].Prompt, rand.New(rand.NewSource(core.MixSeed(99, i))))
+		if err != nil {
+			t.Fatalf("solo %d: %v", i, err)
+		}
+		if batched[i].Err != nil {
+			t.Fatalf("batched %d: %v", i, batched[i].Err)
+		}
+		got := dataset.Format(batched[i].Res.Rec)
+		want := dataset.Format(solo.Rec)
+		if got != want {
+			t.Errorf("record %d: lock-step %q != solo %q", i, got, want)
+		}
 	}
 }
 
@@ -237,15 +255,10 @@ func TestRunPerfTiny(t *testing.T) {
 	if rep.ChecksPerToken <= 0 {
 		t.Error("checks/token not recorded")
 	}
-	// With the interval fast path most probes never reach the cache, so the
-	// hit rate may legitimately be 0; the fast path itself must carry weight.
-	if rep.OracleHitRate < 0 || rep.OracleHitRate >= 1 {
-		t.Errorf("oracle hit rate %v outside [0,1)", rep.OracleHitRate)
-	}
 	if rep.FastPathRate <= 0 || rep.FastPathRate > 1 {
 		t.Errorf("fast-path rate %v outside (0,1]", rep.FastPathRate)
 	}
-	if sum := rep.FastPathRate + rep.OracleHitRate + rep.SolverProbeRate; sum < 0.999 || sum > 1.001 {
+	if sum := rep.FastPathRate + rep.SolverProbeRate; sum < 0.999 || sum > 1.001 {
 		t.Errorf("probe resolution rates sum to %v, want 1", sum)
 	}
 	if rep.NumCPU <= 0 || rep.GoMaxProcs <= 0 {
@@ -263,6 +276,21 @@ func TestRunPerfTiny(t *testing.T) {
 	for _, w := range rep.ByWorkers {
 		if w.RecordsPerSec <= 0 {
 			t.Errorf("workers=%d: no throughput", w.Workers)
+		}
+	}
+	if len(rep.ByBatch) != 4 {
+		t.Fatalf("batch sweep has %d entries, want 4", len(rep.ByBatch))
+	}
+	for i, bp := range rep.ByBatch {
+		if bp.TokensPerSec <= 0 {
+			t.Errorf("batch=%d: no throughput", bp.Batch)
+		}
+		if bp.WeightBytesPerToken <= 0 {
+			t.Errorf("batch=%d: weight traffic not recorded", bp.Batch)
+		}
+		if i > 0 && bp.WeightBytesPerToken >= rep.ByBatch[i-1].WeightBytesPerToken {
+			t.Errorf("batch=%d streams %v B/token, not below batch=%d's %v",
+				bp.Batch, bp.WeightBytesPerToken, rep.ByBatch[i-1].Batch, rep.ByBatch[i-1].WeightBytesPerToken)
 		}
 	}
 	_ = PerfTable(rep).Render()

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -17,6 +18,20 @@ type WorkerPerf struct {
 	TotalMs       float64 `json:"total_ms"`
 	RecordsPerSec float64 `json:"records_per_sec"`
 	Speedup       float64 `json:"speedup_vs_1"`
+}
+
+// BatchPerf is lock-step decode throughput at one batch size: B lanes share
+// one BatchSession, so each transformer weight block is streamed from memory
+// once per token step instead of once per record (DESIGN.md §9).
+type BatchPerf struct {
+	Batch        int     `json:"batch"`
+	TotalMs      float64 `json:"total_ms"`
+	TokensPerSec float64 `json:"tokens_per_sec"`
+	// WeightBytesPerToken is the parameter traffic one lane-token costs with
+	// the batch full: AppendWeightBytes/B. Ragged tails stream more; this is
+	// the steady-state figure, and at batch 1 it equals the solo path's cost.
+	WeightBytesPerToken float64 `json:"weight_bytes_per_token"`
+	Speedup             float64 `json:"speedup_vs_1"`
 }
 
 // PerfReport is the machine-readable performance summary written as
@@ -36,18 +51,16 @@ type PerfReport struct {
 	ChecksPerToken float64 `json:"solver_checks_per_token"`
 	// FastPathRate is the fraction of range-feasibility probes answered with
 	// no solver involvement — per-slot interval state or model patching
-	// (DESIGN.md §6);
-	// SolverProbeRate is the fraction that fell back to a real CheckWith.
-	// The remainder hit the epoch-keyed cache (OracleHitRate).
+	// (DESIGN.md §6); SolverProbeRate is the fraction that fell back to a
+	// real CheckWith. The two partition OracleQueries (the epoch-keyed probe
+	// cache was removed after BENCH_2 measured a 0.17% hit rate).
 	FastPathRate    float64 `json:"oracle_fastpath_rate"`
 	SolverProbeRate float64 `json:"oracle_solver_probe_rate"`
-	// OracleHitRate is the fraction of range-feasibility probes served
-	// from the engine's epoch-keyed cache without a solver call.
-	OracleHitRate float64 `json:"oracle_cache_hit_rate"`
 	// WarmStartRate is the fraction of solver Checks that reused the
 	// epoch's memoized propagated base store instead of rebuilding it.
 	WarmStartRate float64      `json:"solver_warm_start_rate"`
 	ByWorkers     []WorkerPerf `json:"by_workers"`
+	ByBatch       []BatchPerf  `json:"by_batch"`
 	// Warning flags conditions that make parts of the report meaningless
 	// (e.g. a worker sweep with GOMAXPROCS=1).
 	Warning string `json:"warning,omitempty"`
@@ -98,14 +111,13 @@ func RunPerf(env *Env, workerCounts []int) (*PerfReport, error) {
 		return nil, err
 	}
 	serial := time.Since(start)
-	var queries, hits, fast, probes uint64
+	var queries, fast, probes uint64
 	for _, b := range batch {
 		if b.Err != nil {
 			continue
 		}
 		rep.Tokens += b.Res.Stats.Tokens
 		queries += b.Res.Stats.OracleQueries
-		hits += b.Res.Stats.OracleHits
 		fast += b.Res.Stats.OracleFastPath
 		probes += b.Res.Stats.OracleProbes
 	}
@@ -118,7 +130,6 @@ func RunPerf(env *Env, workerCounts []int) (*PerfReport, error) {
 		rep.ChecksPerToken = float64(checks) / float64(rep.Tokens)
 	}
 	if queries > 0 {
-		rep.OracleHitRate = float64(hits) / float64(queries)
 		rep.FastPathRate = float64(fast) / float64(queries)
 		rep.SolverProbeRate = float64(probes) / float64(queries)
 	}
@@ -144,6 +155,50 @@ func RunPerf(env *Env, workerCounts []int) (*PerfReport, error) {
 			wp.Speedup = wp.RecordsPerSec / base
 		}
 		rep.ByWorkers = append(rep.ByWorkers, wp)
+	}
+
+	// Batch sweep: decode the same prompts in chunks of B through
+	// DecodeRequests with a single worker, so each chunk runs as one
+	// lock-step group of B lanes (B == 1 stays on the per-record path).
+	// Tokens/sec shows GEMM throughput where cores allow; the weight-traffic
+	// column shows the memory-bandwidth win even on a single-CPU host.
+	wb := float64(env.Model.AppendWeightBytes())
+	var batchBase float64
+	for _, b := range []int{1, 4, 16, 32} {
+		start := time.Now()
+		toks := 0
+		for lo := 0; lo < len(prompts); lo += b {
+			hi := lo + b
+			if hi > len(prompts) {
+				hi = len(prompts)
+			}
+			reqs := make([]core.BatchRequest, hi-lo)
+			for j := lo; j < hi; j++ {
+				reqs[j-lo].Prompt = prompts[j]
+			}
+			res, err := eng.DecodeRequests(context.Background(), reqs, 1, env.Scale.Seed+4000, nil)
+			if err != nil {
+				return nil, err
+			}
+			for _, r := range res {
+				if r.Err == nil {
+					toks += r.Res.Stats.Tokens
+				}
+			}
+		}
+		total := time.Since(start)
+		bp := BatchPerf{Batch: b, TotalMs: float64(total.Microseconds()) / 1000}
+		if total > 0 {
+			bp.TokensPerSec = float64(toks) / total.Seconds()
+		}
+		bp.WeightBytesPerToken = wb / float64(b)
+		if b == 1 || batchBase == 0 {
+			batchBase = bp.TokensPerSec
+		}
+		if batchBase > 0 {
+			bp.Speedup = bp.TokensPerSec / batchBase
+		}
+		rep.ByBatch = append(rep.ByBatch, bp)
 	}
 	return rep, nil
 }
@@ -171,6 +226,13 @@ func PerfTable(r *PerfReport) Table {
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("workers=%d", w.Workers), f1(w.RecordsPerSec) + " rec/s",
 			fmt.Sprintf("%.1fms", w.TotalMs), fmt.Sprintf("%.2fx", w.Speedup), "",
+		})
+	}
+	for _, b := range r.ByBatch {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("batch=%d", b.Batch), f1(b.TokensPerSec) + " tok/s",
+			fmt.Sprintf("%.1fms", b.TotalMs), fmt.Sprintf("%.2fx", b.Speedup),
+			fmt.Sprintf("%.0f B/tok", b.WeightBytesPerToken),
 		})
 	}
 	return t

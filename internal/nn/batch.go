@@ -1,0 +1,362 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// LaneError reports that one lane of an AppendBatch call was invalid (token
+// out of vocab, context length exceeded, bad or duplicate lane id). The call
+// validates every lane before mutating any state, so on a LaneError the
+// batch session is unchanged: the caller can drop the offending lane and
+// retry with the rest.
+type LaneError struct {
+	Lane int
+	Err  error
+}
+
+func (e *LaneError) Error() string { return fmt.Sprintf("nn: lane %d: %v", e.Lane, e.Err) }
+func (e *LaneError) Unwrap() error { return e.Err }
+
+// BatchSession steps up to n independent decoding sessions ("lanes") through
+// the model in lock-step. Where Session.Append is a chain of matrix-vector
+// products that stream every weight matrix from memory once per token per
+// record, AppendBatch runs the active lanes through matLinear/matLinear3
+// GEMM kernels that stream each weight block once per token step for the
+// whole batch — the per-lane arithmetic (and therefore the float32 result)
+// is bit-identical to the single-row kernels.
+//
+// Lanes are ragged: each has its own position, and any subset may be
+// advanced per call (records finish at different steps). All buffers — the
+// batch-major KV caches and the per-step activation scratch — are carved
+// from one tensor.Arena at construction, so a batch costs O(1) allocations
+// regardless of lane count and AppendBatch allocates nothing.
+//
+// A BatchSession is not safe for concurrent use.
+type BatchSession struct {
+	m   *Model
+	n   int
+	pos []int // per-lane tokens consumed
+	// Per-layer KV caches, batch-major then head-major: lane b's cache block
+	// is kc[l][b*Ctx*Dim : (b+1)*Ctx*Dim] with the same head-major layout as
+	// Session, so attention and CloneLane reuse the single-row code shape.
+	kc, vc [][]float32
+	logits []float32 // [n*Vocab], row lane*Vocab.. persists until the lane's next step
+	// Compacted per-step activations: row r of each buffer belongs to the
+	// r-th lane passed to the current AppendBatch call.
+	x, ln, q, k, v, attn, proj, mlp []float32 // [n*Dim]
+	hbuf, hg                        []float32 // [n*F]
+	p                               []float32 // [Ctx] attention row (lanes attend sequentially)
+	inStep                          []bool    // [n] duplicate-lane check scratch
+}
+
+// NewBatchSession creates a lock-step session with n lanes, all empty.
+func (m *Model) NewBatchSession(n int) *BatchSession {
+	if n < 1 {
+		panic(fmt.Sprintf("nn: NewBatchSession(%d)", n))
+	}
+	d := m.Cfg.Dim
+	f := m.Cfg.ff() * d
+	ctx := m.Cfg.Ctx
+	cache := ctx * d
+	a := tensor.NewArena(2*m.Cfg.Layers*n*cache + n*m.Cfg.Vocab + 8*n*d + 2*n*f + ctx)
+	bs := &BatchSession{
+		m:      m,
+		n:      n,
+		pos:    make([]int, n),
+		kc:     make([][]float32, m.Cfg.Layers),
+		vc:     make([][]float32, m.Cfg.Layers),
+		inStep: make([]bool, n),
+	}
+	for l := range bs.kc {
+		bs.kc[l] = a.Alloc(n * cache)
+		bs.vc[l] = a.Alloc(n * cache)
+	}
+	bs.logits = a.Alloc(n * m.Cfg.Vocab)
+	bs.x = a.Alloc(n * d)
+	bs.ln = a.Alloc(n * d)
+	bs.q = a.Alloc(n * d)
+	bs.k = a.Alloc(n * d)
+	bs.v = a.Alloc(n * d)
+	bs.attn = a.Alloc(n * d)
+	bs.proj = a.Alloc(n * d)
+	bs.mlp = a.Alloc(n * d)
+	bs.hbuf = a.Alloc(n * f)
+	bs.hg = a.Alloc(n * f)
+	bs.p = a.Alloc(ctx)
+	return bs
+}
+
+// Lanes returns the lane count the session was created with.
+func (bs *BatchSession) Lanes() int { return bs.n }
+
+// Len reports the number of tokens lane has consumed.
+func (bs *BatchSession) Len(lane int) int { return bs.pos[lane] }
+
+// AppendBatch feeds toks[i] to lanes[i] for every i and computes each
+// advanced lane's next-position logits. Every lane is validated before any
+// state is mutated; an invalid lane aborts the whole call with a *LaneError
+// and no side effects, so the caller can retire that lane and retry.
+func (bs *BatchSession) AppendBatch(lanes, toks []int) error {
+	m := bs.m
+	if len(lanes) != len(toks) {
+		return fmt.Errorf("nn: AppendBatch with %d lanes, %d tokens", len(lanes), len(toks))
+	}
+	rows := len(lanes)
+	if rows == 0 {
+		return nil
+	}
+	for i, lane := range lanes {
+		var err error
+		switch {
+		case lane < 0 || lane >= bs.n:
+			err = fmt.Errorf("nn: lane outside batch of %d", bs.n)
+		case bs.inStep[lane]:
+			err = fmt.Errorf("nn: lane appears twice in one step")
+		case toks[i] < 0 || toks[i] >= m.Cfg.Vocab:
+			err = fmt.Errorf("nn: token %d outside vocab %d", toks[i], m.Cfg.Vocab)
+		case bs.pos[lane] >= m.Cfg.Ctx:
+			err = fmt.Errorf("nn: context length %d exceeded", m.Cfg.Ctx)
+		}
+		if err != nil {
+			for _, l := range lanes[:i] {
+				bs.inStep[l] = false
+			}
+			return &LaneError{Lane: lane, Err: err}
+		}
+		bs.inStep[lane] = true
+	}
+	for _, lane := range lanes {
+		bs.inStep[lane] = false
+	}
+
+	d := m.Cfg.Dim
+	f := m.Cfg.ff() * d
+	h := m.Cfg.Heads
+	dh := d / h
+	ctx := m.Cfg.Ctx
+	scale := float32(1 / math.Sqrt(float64(dh)))
+
+	// Embed each lane's token at its own position into the compacted rows.
+	x := bs.x[:rows*d]
+	for r, lane := range lanes {
+		xr := x[r*d : (r+1)*d]
+		copy(xr, m.tok.W[toks[r]*d:(toks[r]+1)*d])
+		pw := m.pos.W[bs.pos[lane]*d : (bs.pos[lane]+1)*d]
+		for j := range xr {
+			xr[j] += pw[j]
+		}
+	}
+
+	ln := bs.ln[:rows*d]
+	q, k, v, attn := bs.q[:rows*d], bs.k[:rows*d], bs.v[:rows*d], bs.attn[:rows*d]
+	proj, mlp := bs.proj[:rows*d], bs.mlp[:rows*d]
+	hbuf, hg := bs.hbuf[:rows*f], bs.hg[:rows*f]
+	for l := range m.layers {
+		ly := &m.layers[l]
+		for r := 0; r < rows; r++ {
+			tensor.LayerNormRow(ln[r*d:(r+1)*d], x[r*d:(r+1)*d], ly.ln1g.W, ly.ln1b.W)
+		}
+
+		// One GEMM for all lanes' q/k/v: each weight block is read once.
+		matLinear3(q, k, v, ln, ly.wq.W, ly.wk.W, ly.wv.W, ly.bq.W, ly.bk.W, ly.bv.W, d, d, rows)
+
+		// Scatter k/v into each lane's head-major cache block.
+		kcl, vcl := bs.kc[l], bs.vc[l]
+		for r, lane := range lanes {
+			t := bs.pos[lane]
+			base := lane * ctx * d
+			for hd := 0; hd < h; hd++ {
+				dst := base + (hd*ctx+t)*dh
+				copy(kcl[dst:dst+dh], k[r*d+hd*dh:r*d+(hd+1)*dh])
+				copy(vcl[dst:dst+dh], v[r*d+hd*dh:r*d+(hd+1)*dh])
+			}
+		}
+
+		// Attention is inherently per-lane: ragged positions mean each lane
+		// attends over a different-length history of its own cache block.
+		for r, lane := range lanes {
+			t := bs.pos[lane]
+			base := lane * ctx * d
+			ar := attn[r*d : (r+1)*d]
+			for i := range ar {
+				ar[i] = 0
+			}
+			for hd := 0; hd < h; hd++ {
+				off := hd * dh
+				qh := q[r*d+off : r*d+off+dh]
+				kh := kcl[base+hd*ctx*dh:]
+				vh := vcl[base+hd*ctx*dh:]
+				p := bs.p[:t+1]
+				for j := 0; j <= t; j++ {
+					p[j] = tensor.Dot(qh, kh[j*dh:j*dh+dh]) * scale
+				}
+				tensor.SoftmaxRow(p)
+				out := ar[off : off+dh]
+				for j := 0; j <= t; j++ {
+					tensor.Axpy(out, p[j], vh[j*dh:j*dh+dh])
+				}
+			}
+		}
+
+		matLinear(proj, attn, ly.wo.W, ly.bo.W, d, d, rows)
+		for i := range x {
+			x[i] += proj[i]
+		}
+
+		for r := 0; r < rows; r++ {
+			tensor.LayerNormRow(ln[r*d:(r+1)*d], x[r*d:(r+1)*d], ly.ln2g.W, ly.ln2b.W)
+		}
+		matLinear(hbuf, ln, ly.w1.W, ly.b1.W, d, f, rows)
+		tensor.GELU(hg, hbuf)
+		matLinear(mlp, hg, ly.w2.W, ly.b2.W, f, d, rows)
+		for i := range x {
+			x[i] += mlp[i]
+		}
+	}
+
+	for r := 0; r < rows; r++ {
+		tensor.LayerNormRow(ln[r*d:(r+1)*d], x[r*d:(r+1)*d], m.lnfg.W, m.lnfb.W)
+	}
+	// Tied head as a GEMM: vocab-outer so each embedding row is streamed once
+	// for all lanes; per lane this is the same ⟨ln, tok_v⟩ as Session.
+	for vv := 0; vv < m.Cfg.Vocab; vv++ {
+		wv := m.tok.W[vv*d : (vv+1)*d]
+		for r, lane := range lanes {
+			bs.logits[lane*m.Cfg.Vocab+vv] = tensor.Dot(ln[r*d:(r+1)*d], wv)
+		}
+	}
+	for _, lane := range lanes {
+		bs.pos[lane]++
+	}
+	return nil
+}
+
+// Logits returns lane's next-token logits after its last step. The slice is
+// owned by the session and overwritten the next time the lane is advanced.
+func (bs *BatchSession) Logits(lane int) []float32 {
+	if bs.pos[lane] == 0 {
+		panic("nn: Logits before any Append on this lane")
+	}
+	v := bs.m.Cfg.Vocab
+	return bs.logits[lane*v : (lane+1)*v]
+}
+
+// CloneLane extracts lane as an independent single-row Session — same
+// consumed prefix, same pending logits, its own KV cache — so a lane can
+// leave the lock-step batch and continue on the per-record path (beam
+// search, diagnosis) without re-decoding its prefix.
+func (bs *BatchSession) CloneLane(lane int) *Session {
+	m := bs.m
+	v := m.Cfg.Vocab
+	c := &Session{m: m, pos: bs.pos[lane],
+		logits: append([]float32(nil), bs.logits[lane*v:(lane+1)*v]...)}
+	d := m.Cfg.Dim
+	dh := d / m.Cfg.Heads
+	ctx := m.Cfg.Ctx
+	base := lane * ctx * d
+	c.kc = make([][]float32, len(bs.kc))
+	c.vc = make([][]float32, len(bs.vc))
+	n := bs.pos[lane] * dh
+	for l := range bs.kc {
+		c.kc[l] = make([]float32, ctx*d)
+		c.vc[l] = make([]float32, ctx*d)
+		for hd := 0; hd < m.Cfg.Heads; hd++ {
+			off := hd * ctx * dh
+			copy(c.kc[l][off:off+n], bs.kc[l][base+off:base+off+n])
+			copy(c.vc[l][off:off+n], bs.vc[l][base+off:base+off+n])
+		}
+	}
+	c.initScratch()
+	return c
+}
+
+// AppendWeightBytes returns how many parameter bytes one Session.Append
+// streams from memory: every per-token matrix (attention projections, MLP)
+// plus the tied LM head, read in full once per token. The GEMM path reads
+// the same bytes once per token *step*, so a lock-step batch of B lanes
+// streams AppendWeightBytes/B per lane-token — the quantity BENCH reports
+// as bytes/token.
+func (m *Model) AppendWeightBytes() int64 {
+	d := int64(m.Cfg.Dim)
+	f := int64(m.Cfg.ff()) * d
+	perLayer := 4*d*d + 2*d*f // wq,wk,wv,wo + w1,w2
+	return 4 * (int64(m.Cfg.Layers)*perLayer + int64(m.Cfg.Vocab)*d)
+}
+
+// matLinear is the batched form of vecLinear: Y = X·W + b for X [rows, in]
+// and Y [rows, out], both compacted row-major. The loop order is weight
+// block outer, lane inner: each 4-row block of W is loaded once and folded
+// into every lane before moving on, so W streams from memory once per call
+// instead of once per lane. Within a lane the accumulation order is exactly
+// vecLinear's (same 4-wide blocks via accumBlock4, same tail), so each
+// output row is bit-identical to a vecLinear call on that row alone.
+func matLinear(y, x, w, b []float32, in, out, rows int) {
+	for r := 0; r < rows; r++ {
+		copy(y[r*out:(r+1)*out], b[:out])
+	}
+	p := 0
+	for ; p+4 <= in; p += 4 {
+		base := p * out
+		blk := w[base : base+4*out]
+		for r := 0; r < rows; r++ {
+			xr := x[r*in:]
+			accumBlock4(y[r*out:(r+1)*out], blk, out, xr[p], xr[p+1], xr[p+2], xr[p+3])
+		}
+	}
+	for ; p < in; p++ {
+		row := w[p*out : (p+1)*out]
+		for r := 0; r < rows; r++ {
+			xv := x[r*in+p]
+			yr := y[r*out : (r+1)*out]
+			for j := range yr {
+				yr[j] += xv * row[j]
+			}
+		}
+	}
+}
+
+// matLinear3 is the batched form of vecLinear3: the three attention
+// projections for all lanes in one pass, with each 4-row block of Wq/Wk/Wv
+// read once per token step. Per lane the q/k/v accumulation order matches
+// vecLinear3 exactly (accumBlock4 blocks, then the interleaved tail), so
+// the outputs are bit-identical to the single-row kernel.
+func matLinear3(q, k, v, x, wq, wk, wv, bq, bk, bv []float32, in, out, rows int) {
+	for r := 0; r < rows; r++ {
+		copy(q[r*out:(r+1)*out], bq[:out])
+		copy(k[r*out:(r+1)*out], bk[:out])
+		copy(v[r*out:(r+1)*out], bv[:out])
+	}
+	p := 0
+	for ; p+4 <= in; p += 4 {
+		base := p * out
+		bq4 := wq[base : base+4*out]
+		bk4 := wk[base : base+4*out]
+		bv4 := wv[base : base+4*out]
+		for r := 0; r < rows; r++ {
+			xr := x[r*in:]
+			x0, x1, x2, x3 := xr[p], xr[p+1], xr[p+2], xr[p+3]
+			accumBlock4(q[r*out:(r+1)*out], bq4, out, x0, x1, x2, x3)
+			accumBlock4(k[r*out:(r+1)*out], bk4, out, x0, x1, x2, x3)
+			accumBlock4(v[r*out:(r+1)*out], bv4, out, x0, x1, x2, x3)
+		}
+	}
+	for ; p < in; p++ {
+		rq := wq[p*out : (p+1)*out]
+		rk := wk[p*out : (p+1)*out]
+		rv := wv[p*out : (p+1)*out]
+		for r := 0; r < rows; r++ {
+			xv := x[r*in+p]
+			qr := q[r*out : (r+1)*out]
+			kr := k[r*out : (r+1)*out]
+			vr := v[r*out : (r+1)*out]
+			for j := range qr {
+				qr[j] += xv * rq[j]
+				kr[j] += xv * rk[j]
+				vr[j] += xv * rv[j]
+			}
+		}
+	}
+}

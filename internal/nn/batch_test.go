@@ -1,0 +1,303 @@
+package nn
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+)
+
+// This file pins the lock-step GEMM path to the single-row Session: for any
+// batch composition — ragged starts, ragged finishes, lanes skipping steps —
+// every lane's logits must be bit-identical to a solo Session fed the same
+// tokens. The matLinear/matLinear3 kernels preserve vecLinear's per-row
+// accumulation order exactly, so identical bits are the contract.
+
+// laneSchedule fixes, per lane, the token sequence it will consume.
+func laneSchedule(rng *rand.Rand, lanes, minLen, maxLen, vocab int) [][]int {
+	seqs := make([][]int, lanes)
+	for i := range seqs {
+		seqs[i] = randSeq(rng, minLen+rng.Intn(maxLen-minLen+1), vocab)
+	}
+	return seqs
+}
+
+// runLockStepVsSolo drives a BatchSession and per-lane solo Sessions over
+// the same schedule, comparing logits bit-for-bit after every step.
+func runLockStepVsSolo(t *testing.T, m *Model, seqs [][]int, rng *rand.Rand) {
+	t.Helper()
+	bs := m.NewBatchSession(len(seqs))
+	solo := make([]*Session, len(seqs))
+	fed := make([]int, len(seqs))
+	for i := range solo {
+		solo[i] = m.NewSession()
+	}
+	lanes := make([]int, 0, len(seqs))
+	toks := make([]int, 0, len(seqs))
+	for {
+		lanes, toks = lanes[:0], toks[:0]
+		for i, seq := range seqs {
+			if fed[i] >= len(seq) {
+				continue
+			}
+			// Lanes advance raggedly: each occasionally sits a step out.
+			if len(seqs) > 1 && rng.Intn(4) == 0 {
+				continue
+			}
+			lanes = append(lanes, i)
+			toks = append(toks, seq[fed[i]])
+		}
+		if len(lanes) == 0 {
+			allDone := true
+			for i, seq := range seqs {
+				if fed[i] < len(seq) {
+					allDone = false
+				}
+			}
+			if allDone {
+				return
+			}
+			continue
+		}
+		if err := bs.AppendBatch(lanes, toks); err != nil {
+			t.Fatal(err)
+		}
+		for j, lane := range lanes {
+			if err := solo[lane].Append(toks[j]); err != nil {
+				t.Fatal(err)
+			}
+			fed[lane]++
+			compareLogitsBits(t, bs.Logits(lane), solo[lane].Logits(), "lane logits")
+			if bs.Len(lane) != solo[lane].Len() {
+				t.Fatalf("lane %d: batch len %d, solo len %d", lane, bs.Len(lane), solo[lane].Len())
+			}
+		}
+	}
+}
+
+// TestBatchSessionMatchesSingle is the tentpole's golden contract across
+// several shapes (including dims not divisible by the 4-wide unroll) and
+// ragged schedules where lanes start, skip, and finish at different steps.
+func TestBatchSessionMatchesSingle(t *testing.T) {
+	cfgs := []Config{
+		{Vocab: 11, Ctx: 8, Dim: 8, Heads: 2, Layers: 2},
+		{Vocab: 13, Ctx: 16, Dim: 24, Heads: 4, Layers: 3},
+		{Vocab: 11, Ctx: 12, Dim: 6, Heads: 3, Layers: 2}, // dh=2, tail-heavy
+	}
+	for ci, cfg := range cfgs {
+		m := goldenModel(t, cfg, int64(200+ci))
+		rng := rand.New(rand.NewSource(int64(31 + ci)))
+		for _, lanes := range []int{1, 3, 5} {
+			seqs := laneSchedule(rng, lanes, 1, cfg.Ctx, cfg.Vocab)
+			runLockStepVsSolo(t, m, seqs, rng)
+		}
+	}
+}
+
+// TestCloneLaneMatchesSingle peels one lane off a batch mid-decode and
+// requires the resulting Session to keep producing bit-identical logits.
+func TestCloneLaneMatchesSingle(t *testing.T) {
+	cfg := Config{Vocab: 13, Ctx: 16, Dim: 24, Heads: 4, Layers: 3}
+	m := goldenModel(t, cfg, 51)
+	rng := rand.New(rand.NewSource(52))
+
+	bs := m.NewBatchSession(3)
+	solo := make([]*Session, 3)
+	for i := range solo {
+		solo[i] = m.NewSession()
+	}
+	prefix := randSeq(rng, 6, cfg.Vocab)
+	for _, tok := range prefix {
+		if err := bs.AppendBatch([]int{0, 1, 2}, []int{tok, tok, tok}); err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range solo {
+			if err := s.Append(tok); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	peeled := bs.CloneLane(1)
+	soloFork := solo[1].Clone()
+	compareLogitsBits(t, peeled.Logits(), soloFork.Logits(), "peeled logits at fork")
+	for _, tok := range randSeq(rng, cfg.Ctx-len(prefix), cfg.Vocab) {
+		if err := peeled.Append(tok); err != nil {
+			t.Fatal(err)
+		}
+		if err := soloFork.Append(tok); err != nil {
+			t.Fatal(err)
+		}
+		compareLogitsBits(t, peeled.Logits(), soloFork.Logits(), "peeled suffix")
+	}
+	// The batch must be untouched by the peeled lane's appends.
+	if err := bs.AppendBatch([]int{0, 1, 2}, []int{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range solo {
+		if err := s.Append(i + 1); err != nil {
+			t.Fatal(err)
+		}
+		compareLogitsBits(t, bs.Logits(i), s.Logits(), "batch after peel")
+	}
+}
+
+// TestAppendBatchValidation: an invalid lane must fail with a *LaneError
+// naming it and leave the whole batch unmutated (positions and logits).
+func TestAppendBatchValidation(t *testing.T) {
+	cfg := Config{Vocab: 11, Ctx: 4, Dim: 8, Heads: 2, Layers: 2}
+	m := goldenModel(t, cfg, 61)
+	bs := m.NewBatchSession(2)
+	if err := bs.AppendBatch([]int{0, 1}, []int{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	want0 := append([]float32(nil), bs.Logits(0)...)
+
+	cases := []struct {
+		name  string
+		lanes []int
+		toks  []int
+		lane  int
+	}{
+		{"bad token", []int{0, 1}, []int{3, cfg.Vocab}, 1},
+		{"bad lane", []int{0, 7}, []int{3, 3}, 7},
+		{"duplicate lane", []int{0, 0}, []int{3, 3}, 0},
+	}
+	for _, tc := range cases {
+		var le *LaneError
+		err := bs.AppendBatch(tc.lanes, tc.toks)
+		if !errors.As(err, &le) {
+			t.Fatalf("%s: err = %v, want *LaneError", tc.name, err)
+		}
+		if le.Lane != tc.lane {
+			t.Errorf("%s: LaneError.Lane = %d, want %d", tc.name, le.Lane, tc.lane)
+		}
+		if bs.Len(0) != 1 || bs.Len(1) != 1 {
+			t.Fatalf("%s: lane positions mutated: %d, %d", tc.name, bs.Len(0), bs.Len(1))
+		}
+		compareLogitsBits(t, bs.Logits(0), want0, tc.name+" logits")
+	}
+
+	// Context overflow on one lane: the other lane's retry must succeed.
+	for bs.Len(0) < cfg.Ctx {
+		if err := bs.AppendBatch([]int{0}, []int{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var le *LaneError
+	if err := bs.AppendBatch([]int{0, 1}, []int{1, 1}); !errors.As(err, &le) || le.Lane != 0 {
+		t.Fatalf("overflow: err = %v, want *LaneError on lane 0", le)
+	}
+	if err := bs.AppendBatch([]int{1}, []int{1}); err != nil {
+		t.Fatalf("retry without the overflowed lane: %v", err)
+	}
+}
+
+// TestMatLinearMatchesVecLinear fuzzes the GEMM kernels row-by-row against
+// the single-row kernels across shapes exercising every tail residue.
+func TestMatLinearMatchesVecLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	fill := func(n int) []float32 {
+		s := make([]float32, n)
+		for i := range s {
+			s[i] = float32(rng.NormFloat64())
+		}
+		return s
+	}
+	for trial := 0; trial < 50; trial++ {
+		in := 1 + rng.Intn(33)
+		out := 1 + rng.Intn(33)
+		rows := 1 + rng.Intn(6)
+		x, b := fill(rows*in), fill(out)
+		wq, wk, wv := fill(in*out), fill(in*out), fill(in*out)
+
+		y := make([]float32, rows*out)
+		matLinear(y, x, wq, b, in, out, rows)
+		q := make([]float32, rows*out)
+		k := make([]float32, rows*out)
+		v := make([]float32, rows*out)
+		matLinear3(q, k, v, x, wq, wk, wv, b, b, b, in, out, rows)
+
+		wantY := make([]float32, out)
+		wantQ, wantK, wantV := make([]float32, out), make([]float32, out), make([]float32, out)
+		for r := 0; r < rows; r++ {
+			xr := x[r*in : (r+1)*in]
+			vecLinear(wantY, xr, wq, b, in, out)
+			vecLinear3(wantQ, wantK, wantV, xr, wq, wk, wv, b, b, b, in, out)
+			for j := 0; j < out; j++ {
+				if math.Float32bits(y[r*out+j]) != math.Float32bits(wantY[j]) {
+					t.Fatalf("matLinear rows=%d in=%d out=%d r=%d j=%d: got %v, want %v",
+						rows, in, out, r, j, y[r*out+j], wantY[j])
+				}
+				if q[r*out+j] != wantQ[j] || k[r*out+j] != wantK[j] || v[r*out+j] != wantV[j] {
+					t.Fatalf("matLinear3 rows=%d in=%d out=%d r=%d j=%d: q %v/%v k %v/%v v %v/%v",
+						rows, in, out, r, j, q[r*out+j], wantQ[j], k[r*out+j], wantK[j], v[r*out+j], wantV[j])
+				}
+			}
+		}
+	}
+}
+
+// TestAppendBatchNoAllocs: the per-token hot path must not allocate — the
+// arena provisions the whole working set at construction.
+func TestAppendBatchNoAllocs(t *testing.T) {
+	m := goldenModel(t, benchCfg(), 81)
+	bs := m.NewBatchSession(4)
+	lanes := []int{0, 1, 2, 3}
+	toks := []int{1, 2, 3, 4}
+	allocs := testing.AllocsPerRun(16, func() {
+		if err := bs.AppendBatch(lanes, toks); err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range lanes {
+			bs.pos[l] = 0 // rewind so the run never overflows Ctx
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("AppendBatch allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+// BenchmarkBatchAppend measures the GEMM win directly: B lanes stepped in
+// lock-step versus B solo sessions appending the same tokens. The batched
+// path reads each weight block once per step instead of once per lane.
+func BenchmarkBatchAppend(b *testing.B) {
+	m := goldenModel(b, benchCfg(), 9)
+	rng := rand.New(rand.NewSource(10))
+	seq := randSeq(rng, m.Cfg.Ctx, m.Cfg.Vocab)
+	for _, lanes := range []int{4, 16, 32} {
+		laneIDs := make([]int, lanes)
+		toks := make([]int, lanes)
+		for i := range laneIDs {
+			laneIDs[i] = i
+		}
+		b.Run("lockstep/"+strconv.Itoa(lanes), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				bs := m.NewBatchSession(lanes)
+				for _, tok := range seq {
+					for j := range toks {
+						toks[j] = tok
+					}
+					if err := bs.AppendBatch(laneIDs, toks); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+		b.Run("solo/"+strconv.Itoa(lanes), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ss := make([]*Session, lanes)
+				for j := range ss {
+					ss[j] = m.NewSession()
+				}
+				for _, tok := range seq {
+					for _, s := range ss {
+						if err := s.Append(tok); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			}
+		})
+	}
+}

@@ -288,7 +288,10 @@ func (s *Server) serveDecode(w http.ResponseWriter, r *http.Request, route strin
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
-	seed := s.cfg.Seed + s.seedSeq.Add(1)*7919
+	// Each request without a pinned seed gets its own splitmix64-derived
+	// stream; the old affine seed+seq*7919 scheme let two servers with
+	// nearby base seeds replay each other's request streams.
+	seed := core.MixSeed(s.cfg.Seed, int(s.seedSeq.Add(1)))
 	if req.Seed != nil {
 		seed = *req.Seed
 	}

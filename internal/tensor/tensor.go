@@ -306,3 +306,35 @@ func Scale(x []float32, a float32) {
 		x[i] *= a
 	}
 }
+
+// Arena carves float32 scratch buffers out of one contiguous allocation.
+// Batched decoding sizes its whole working set up front (KV caches, per-step
+// activations, logits) and allocates it in a single slab, so the allocation
+// count per batch stays O(1) no matter how many lanes the batch has.
+type Arena struct {
+	buf []float32
+	off int
+}
+
+// NewArena allocates an arena holding n float32s, all zero.
+func NewArena(n int) *Arena {
+	if n < 0 {
+		panic(fmt.Sprintf("tensor: NewArena(%d)", n))
+	}
+	return &Arena{buf: make([]float32, n)}
+}
+
+// Alloc returns the next n float32s of the slab (zeroed, since the slab is
+// freshly allocated and handed out exactly once). Panics if the arena was
+// sized too small — that is a programming error, not a runtime condition.
+func (a *Arena) Alloc(n int) []float32 {
+	if n < 0 || a.off+n > len(a.buf) {
+		panic(fmt.Sprintf("tensor: Arena.Alloc(%d) with %d of %d used", n, a.off, len(a.buf)))
+	}
+	s := a.buf[a.off : a.off+n : a.off+n]
+	a.off += n
+	return s
+}
+
+// Remaining reports how many float32s are still unallocated.
+func (a *Arena) Remaining() int { return len(a.buf) - a.off }
