@@ -59,6 +59,9 @@ func run() error {
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown bound after SIGTERM")
 	seed := flag.Int64("seed", 1, "base seed for requests that do not pin their own")
+	solverBudget := flag.Uint64("solver-budget", 0, "max solver search nodes per SMT check; an exhausted check fails only its own request with 503 (0 = solver default)")
+	solverTimeout := flag.Duration("solver-timeout", 0, "wall-clock budget per SMT check (0 = none)")
+	degradedThreshold := flag.Int("degraded-threshold", 0, "report /healthz status \"degraded\" once this many requests exhausted their solver budget (0 = disabled)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060); off when empty, never on the public listener")
 	flag.Parse()
 
@@ -66,12 +69,15 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if *solverBudget > 0 || *solverTimeout > 0 {
+		eng.SetSolverBudget(*solverBudget, *solverTimeout)
+	}
 	logf := func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
 	srv, err := server.New(server.Config{
 		Engine: eng, Rules: rs, Schema: schema,
 		BatchWindow: *batchWindow, MaxBatch: *maxBatch, QueueDepth: *queueDepth,
 		Workers: *workers, Timeout: *timeout, DrainTimeout: *drainTimeout,
-		Seed: *seed, Logf: logf,
+		Seed: *seed, DegradedThreshold: *degradedThreshold, Logf: logf,
 	})
 	if err != nil {
 		return err

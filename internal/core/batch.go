@@ -4,6 +4,7 @@ import (
 	"context"
 	"math/rand"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"repro/internal/rules"
@@ -175,7 +176,16 @@ func (e *Engine) DecodeRequests(ctx context.Context, reqs []BatchRequest, worker
 		go func(eng *Engine) {
 			defer wg.Done()
 			for i := range idx {
-				e.runRequest(ctx, reqs, i, seed, decode, eng, out)
+				if e.runRequest(ctx, reqs, i, seed, decode, eng, out) {
+					// The worker's engine absorbed a panic: replace it for
+					// the remaining records. If cloning fails, keep the old
+					// one — its solver frames were rebalanced by the guided
+					// path's deferred cleanup, so best-effort reuse beats
+					// failing every remaining record.
+					if fresh, cerr := e.Clone(); cerr == nil {
+						eng = fresh
+					}
+				}
 			}
 		}(eng)
 	}
@@ -189,15 +199,20 @@ func (e *Engine) DecodeRequests(ctx context.Context, reqs []BatchRequest, worker
 
 // runRequest decodes reqs[i] on eng via the per-record path, resolving the
 // request's context, seed, and decode overrides. Shared by the worker pool
-// above and the lock-step scheduler's fallback lanes.
-func (e *Engine) runRequest(ctx context.Context, reqs []BatchRequest, i int, seed int64, decode DecodeCtxFn, eng *Engine, out []BatchResult) {
+// above and the lock-step scheduler's fallback lanes. A panic inside the
+// decode is converted into a per-record *PanicError and reported via the
+// poisoned return: the caller should retire eng (the panic unwound through
+// its solver and session state) rather than reuse or pool it. The guided
+// path defers its frame cleanup, so even a poisoned engine has had its
+// solver stack rebalanced — reuse is a last resort, not instant corruption.
+func (e *Engine) runRequest(ctx context.Context, reqs []BatchRequest, i int, seed int64, decode DecodeCtxFn, eng *Engine, out []BatchResult) (poisoned bool) {
 	rctx := reqs[i].Ctx
 	if rctx == nil {
 		rctx = ctx
 	}
 	if err := rctx.Err(); err != nil {
 		out[i].Err = err
-		return
+		return false
 	}
 	s := batchSeed(seed, i)
 	if reqs[i].Seed != nil {
@@ -208,7 +223,15 @@ func (e *Engine) runRequest(ctx context.Context, reqs []BatchRequest, i int, see
 		d = decode
 	}
 	rng := rand.New(rand.NewSource(s))
+	defer func() {
+		if r := recover(); r != nil {
+			out[i].Res = Result{}
+			out[i].Err = &PanicError{Value: r, Stack: debug.Stack()}
+			poisoned = true
+		}
+	}()
 	out[i].Res, out[i].Err = d(rctx, eng, reqs[i].Prompt, rng)
+	return false
 }
 
 // BatchImpute builds an engine from cfg and imputes every prompt via

@@ -20,6 +20,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/nn"
 	"repro/internal/rules"
@@ -152,8 +153,13 @@ type Config struct {
 	Temperature float64 // softmax temperature (0 → 1.0)
 	TopK        int     // restrict sampling to the K most likely admissible tokens (0 → all)
 	MaxNodes    uint64  // solver search budget per Check (0 → solver default)
-	MaxAttempts int     // rejection-sampling attempt cap (0 → 500)
-	MaxRetries  int     // vanilla parse-retry cap (0 → 8)
+	// SolverTimeout is the wall-clock budget per solver Check (0 → none).
+	// A Check that exceeds it returns Unknown and the lane fails with an
+	// error unwrapping to ErrBudget, so one pathological rule set cannot
+	// stall the whole batch.
+	SolverTimeout time.Duration
+	MaxAttempts   int // rejection-sampling attempt cap (0 → 500)
+	MaxRetries    int // vanilla parse-retry cap (0 → 8)
 	// NoIntervalFastPath disables the per-slot interval fast path
 	// (DESIGN.md §6), forcing every range probe through the solver as the
 	// seed implementation did. Ablation knob; decoded output is identical
@@ -169,6 +175,12 @@ type Config struct {
 	// and for demonstrating minimal invasiveness. Not invoked by the
 	// Vanilla/Rejection/PostHoc baselines.
 	TraceHook func(TraceStep)
+	// FaultHook, when set, is called once per guided decoding step just
+	// before the solver probes, mirroring TraceHook. Test-only fault
+	// injection: a returned error fails the lane with it (wrap ErrBudget to
+	// simulate a solver stall), a panic exercises the recover barrier, and
+	// a sleep makes the lane slow. Never set in production configs.
+	FaultHook func(FaultSite) error
 }
 
 // Stats reports what one decode did.
@@ -321,6 +333,7 @@ func newEngine(cfg Config, ruleFormula smt.Formula) (*Engine, error) {
 	if cfg.MaxNodes > 0 {
 		e.solver.MaxNodes = cfg.MaxNodes
 	}
+	e.solver.Timeout = cfg.SolverTimeout
 	e.binding = rules.Instantiate(e.solver, cfg.Schema)
 	if cfg.Rules != nil && cfg.Mode == LeJIT {
 		if ruleFormula != nil {
@@ -339,6 +352,32 @@ func newEngine(cfg Config, ruleFormula smt.Formula) (*Engine, error) {
 		}
 	}
 	return e, nil
+}
+
+// SetSolverBudget installs a per-Check solver budget (node limit and
+// wall-clock deadline; a zero leaves that dimension unlimited) on the engine
+// after construction, covering engines built by helpers that take no Config
+// (the experiments harness, -demo). The budget is written into the engine's
+// config so every future Clone — including pooled lock-step lanes — inherits
+// it; call before decoding begins, since already-pooled clones are updated
+// only as the pool drains through Clone.
+func (e *Engine) SetSolverBudget(maxNodes uint64, timeout time.Duration) {
+	if maxNodes > 0 {
+		e.cfg.MaxNodes = maxNodes
+		e.solver.MaxNodes = maxNodes
+	}
+	e.cfg.SolverTimeout = timeout
+	e.solver.Timeout = timeout
+	e.poolMu.Lock()
+	for _, c := range e.pool {
+		if maxNodes > 0 {
+			c.cfg.MaxNodes = maxNodes
+			c.solver.MaxNodes = maxNodes
+		}
+		c.cfg.SolverTimeout = timeout
+		c.solver.Timeout = timeout
+	}
+	e.poolMu.Unlock()
 }
 
 // Clone returns an independent engine with the same configuration (for
@@ -370,6 +409,7 @@ func (e *Engine) SolverStats() smt.Stats {
 		st.OptQueries += cs.OptQueries
 		st.BaseBuilds += cs.BaseBuilds
 		st.WarmStarts += cs.WarmStarts
+		st.BudgetStops += cs.BudgetStops
 	}
 	e.poolMu.Unlock()
 	return st

@@ -43,6 +43,7 @@ type laneDecoder struct {
 	// Per-slot state, rebuilt by beginSlot for e.cfg.Slots[slot].
 	slot       int
 	inSlot     bool
+	oracle     *slotOracle // nil in StructureOnly / rule-free modes
 	sys        *transition.System
 	structural *transition.System
 	state      transition.State
@@ -68,6 +69,11 @@ func (e *Engine) newLaneDecoder(ctx context.Context, known rules.Record, rng *ra
 	ld.fromSlot, ld.slot = fromSlot, fromSlot
 	ld.checksBefore = e.solver.Stats().Checks
 
+	// Attach the request's context to the solver for the lane's lifetime:
+	// a cancelled request now abandons a Check mid-search (the solver polls
+	// the context between nodes), not just between tokens. finish detaches
+	// it before the engine returns to the pool.
+	e.solver.SetContext(ctx)
 	e.solver.Push()
 	ld.pushed = true
 	for f, vs := range known {
@@ -81,6 +87,11 @@ func (e *Engine) newLaneDecoder(ctx context.Context, known rules.Record, rng *ra
 		}
 	}
 	r := e.solver.Check()
+	if r.Status == smt.Unknown {
+		// Budget or cancellation — not a proof of infeasibility.
+		ld.fail(fmt.Errorf("core: prompt feasibility check gave up: %w", r.Err))
+		return ld
+	}
 	if r.Status != smt.Sat {
 		ld.fail(ErrInfeasible{Detail: fmt.Sprintf("prompt %q (%v)", prompt, r.Status)})
 		return ld
@@ -124,6 +135,9 @@ func (ld *laneDecoder) finish() {
 		ld.e.solver.Pop()
 		ld.pushed = false
 	}
+	// Detach the request context so a pooled engine never carries a dead
+	// context into its next lane.
+	ld.e.solver.SetContext(nil)
 }
 
 // next returns the next token to feed the LM: a queued prompt token, or one
@@ -154,7 +168,20 @@ func (ld *laneDecoder) next(logits []float32) (int, error) {
 		return 0, err
 	}
 	slot := e.cfg.Slots[ld.slot]
+	if e.cfg.FaultHook != nil {
+		if err := e.cfg.FaultHook(FaultSite{
+			Known: ld.known, Field: slot.Field, Index: slot.Index,
+			Tokens: ld.res.Stats.Tokens,
+		}); err != nil {
+			return 0, err
+		}
+	}
 	digits, canEnd := ld.sys.Admissible(ld.state)
+	if ld.oracle != nil {
+		if err := ld.oracle.budgetErr(); err != nil {
+			return 0, fmt.Errorf("core: solver gave up during lookahead for %s[%d]: %w", slot.Field, slot.Index, err)
+		}
+	}
 	ld.allowed = ld.allowed[:0]
 	for d := 0; d <= 9; d++ {
 		if digits[d] {
@@ -204,6 +231,7 @@ func (ld *laneDecoder) beginSlot() error {
 	e := ld.e
 	slot := e.cfg.Slots[ld.slot]
 	f, _ := e.cfg.Schema.Field(slot.Field)
+	ld.oracle = nil
 	if e.cfg.Mode == StructureOnly || e.cfg.Rules == nil {
 		lo, hi := f.Lo, f.Hi
 		ld.sys = transition.New(e.maxDigits[slot.Field],
@@ -213,10 +241,17 @@ func (ld *laneDecoder) beginSlot() error {
 		// (oracle.go) and falls back to solver probes; batching lets it
 		// drain a candidate's whole completion union locally before any
 		// solver work.
-		so := e.newSlotOracle(e.slotVar(slot), &ld.res.Stats)
-		ld.sys = transition.NewBatch(e.maxDigits[slot.Field], so.Feasible, so.FeasibleAny)
+		ld.oracle = e.newSlotOracle(e.slotVar(slot), &ld.res.Stats)
+		ld.sys = transition.NewBatch(e.maxDigits[slot.Field], ld.oracle.Feasible, ld.oracle.FeasibleAny)
 	}
 	if !ld.sys.HasPath() {
+		// A budget-starved or cancelled probe answers false; surface that as
+		// the lane's failure, not as a (false) proof of infeasibility.
+		if ld.oracle != nil {
+			if err := ld.oracle.budgetErr(); err != nil {
+				return fmt.Errorf("core: solver gave up during lookahead for %s[%d]: %w", slot.Field, slot.Index, err)
+			}
+		}
 		return ErrInfeasible{Detail: fmt.Sprintf("no feasible value for %s[%d]", slot.Field, slot.Index)}
 	}
 	// structural mirrors the grammar/width automaton with a trivially-true

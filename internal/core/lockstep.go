@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"math/rand"
+	"runtime"
 	"sync"
 
 	"repro/internal/nn"
@@ -41,10 +42,16 @@ func (e *Engine) acquireClone() (*Engine, error) {
 	return e.Clone()
 }
 
-// releaseClone returns a lane engine to the pool for the next batch.
+// releaseClone returns a lane engine to the pool for the next batch. The
+// pool is bounded at 2×NumCPU — enough that a steady stream of full batches
+// never re-clones, while a one-time burst of lanes (one serving spike) does
+// not permanently retain every clone and its KV-cache scratch. Excess clones
+// are dropped for the GC.
 func (e *Engine) releaseClone(c *Engine) {
 	e.poolMu.Lock()
-	e.pool = append(e.pool, c)
+	if len(e.pool) < 2*runtime.NumCPU() {
+		e.pool = append(e.pool, c)
+	}
 	e.poolMu.Unlock()
 }
 
@@ -62,6 +69,25 @@ func (e *Engine) settle(la *lsLane) {
 	la.ld.finish()
 	la.out.Res, la.out.Err = la.ld.result()
 	e.releaseClone(la.eng)
+}
+
+// failLane retires la with err. A recovered panic (*PanicError) means the
+// lane's engine is suspect — its solver stack may have been mid-mutation
+// when the panic unwound — so the clone is discarded instead of pooled, and
+// even the finish bookkeeping is guarded. Clean failures settle normally.
+func (e *Engine) failLane(la *lsLane, err error) {
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		la.ld.fail(err)
+		e.settle(la)
+		return
+	}
+	func() {
+		defer func() { recover() }()
+		la.ld.fail(err)
+	}()
+	la.ld.finished = true
+	la.out.Res, la.out.Err = la.ld.res, err
 }
 
 // decodeLockStep decodes reqs[i] for every i in idxs through one shared
@@ -92,7 +118,14 @@ func (e *Engine) decodeLockStep(ctx context.Context, reqs []BatchRequest, idxs [
 			s = *reqs[i].Seed
 		}
 		la := &lsLane{out: &out[i], eng: eng, slot: slot}
-		la.ld = eng.newLaneDecoder(rctx, reqs[i].Prompt, rand.New(rand.NewSource(s)))
+		if perr := guardLane(func() error {
+			la.ld = eng.newLaneDecoder(rctx, reqs[i].Prompt, rand.New(rand.NewSource(s)))
+			return nil
+		}); perr != nil {
+			// Setup panicked: record it and discard the clone unpooled.
+			out[i].Err = perr
+			continue
+		}
 		if la.ld.done() {
 			e.settle(la)
 			continue
@@ -113,10 +146,14 @@ func (e *Engine) decodeLockStep(ctx context.Context, reqs []BatchRequest, idxs [
 			if bs.Len(la.slot) > 0 {
 				logits = bs.Logits(la.slot)
 			}
-			tok, err := la.ld.next(logits)
+			var tok int
+			err := guardLane(func() error {
+				var nerr error
+				tok, nerr = la.ld.next(logits)
+				return nerr
+			})
 			if err != nil {
-				la.ld.fail(err)
-				e.settle(la)
+				e.failLane(la, err)
 				continue
 			}
 			la.tok = tok
@@ -129,7 +166,7 @@ func (e *Engine) decodeLockStep(ctx context.Context, reqs []BatchRequest, idxs [
 		// means AppendBatch validated and refused one lane without touching
 		// any state: retire that lane and retry the rest.
 		for len(stepLanes) > 0 {
-			err := bs.AppendBatch(stepLanes, stepToks)
+			err := guardLane(func() error { return bs.AppendBatch(stepLanes, stepToks) })
 			if err == nil {
 				break
 			}
@@ -144,10 +181,11 @@ func (e *Engine) decodeLockStep(ctx context.Context, reqs []BatchRequest, idxs [
 				}
 			}
 			if bad < 0 {
-				// Whole-batch failure: no lane advanced; fail them all.
+				// Whole-batch failure (or a panic inside the forward pass,
+				// which leaves the shared session unattributable and
+				// suspect): no lane advanced; fail them all.
 				for _, la := range stepRefs {
-					la.ld.fail(err)
-					e.settle(la)
+					e.failLane(la, err)
 				}
 				stepRefs = stepRefs[:0]
 				stepLanes = stepLanes[:0]
@@ -166,7 +204,13 @@ func (e *Engine) decodeLockStep(ctx context.Context, reqs []BatchRequest, idxs [
 		// out, the rest keep their BatchSession slot.
 		next := lanes[:0]
 		for _, la := range stepRefs {
-			if err := la.ld.advance(la.tok); err != nil {
+			err := guardLane(func() error { return la.ld.advance(la.tok) })
+			var pe *PanicError
+			if errors.As(err, &pe) {
+				e.failLane(la, err)
+				continue
+			}
+			if err != nil {
 				la.ld.fail(err)
 			}
 			if la.ld.done() {
@@ -225,7 +269,10 @@ func (e *Engine) decodeRequestsLockStep(ctx context.Context, reqs []BatchRequest
 					out[i].Err = err
 					continue
 				}
-				e.runRequest(ctx, reqs, i, seed, decode, eng, out)
+				if e.runRequest(ctx, reqs, i, seed, decode, eng, out) {
+					// Poisoned by a recovered panic: discard, never pool.
+					continue
+				}
 				e.releaseClone(eng)
 			}
 		}()

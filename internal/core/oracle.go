@@ -33,12 +33,19 @@ type slotOracle struct {
 	st *Stats
 	v  smt.Var
 
-	infeasible bool  // the assertions conflict: nothing is feasible
-	convex     bool  // feasible set proven hole-free: interval reasoning ok
-	kLo, kHi   int64 // no feasible value lies outside [kLo, kHi]
-	hasW       bool
-	wLo, wHi   int64   // extreme witnessed-feasible values
-	wvals      []int64 // individual witnesses (tainted slots only)
+	infeasible bool // the assertions conflict: nothing is feasible
+	// err is set (sticky, first failure wins) when a solver probe returned
+	// Unknown — the budget ran out or the request's context was cancelled
+	// mid-Check. The probe answers false locally (sound: nothing is emitted
+	// on its strength), and the lane driver checks budgetErr after each
+	// oracle-backed transition call so the lane fails with the real cause
+	// instead of a spurious ErrInfeasible.
+	err      error
+	convex   bool  // feasible set proven hole-free: interval reasoning ok
+	kLo, kHi int64 // no feasible value lies outside [kLo, kHi]
+	hasW     bool
+	wLo, wHi int64   // extreme witnessed-feasible values
+	wvals    []int64 // individual witnesses (tainted slots only)
 
 	undecided [][2]int64 // FeasibleAny scratch
 }
@@ -139,9 +146,18 @@ func (o *slotOracle) probe(qlo, qhi int64) bool {
 		o.addWitness(r.Model[o.v])
 	} else if r.Status == smt.Unsat {
 		o.noteUnsat(qlo, qhi)
+	} else if o.err == nil {
+		// Unknown: budget or cancellation. Record the cause; do not treat
+		// the range as proven infeasible (noteUnsat would be unsound here).
+		if o.err = r.Err; o.err == nil {
+			o.err = smt.ErrBudget
+		}
 	}
 	return sat
 }
+
+// budgetErr reports the first Unknown a probe hit, or nil.
+func (o *slotOracle) budgetErr() error { return o.err }
 
 // patchFeasible tries to certify some value in [lo, hi] feasible by model
 // patching, without a solver call. The engine's lastModel — when its epoch

@@ -65,6 +65,16 @@ type Metrics struct {
 	tokens       uint64 // decoded tokens (from core.Stats)
 	solverChecks uint64 // SMT checks attributable to served decodes
 
+	// Fault-isolation counters (DESIGN.md §10): every failed record of a
+	// dispatched batch retires one lane; the two sub-causes worth alerting
+	// on — solver budget exhaustion and recovered panics — are also counted
+	// on their own. batcherRestarts counts batcher goroutine resurrections
+	// after a panic escaped a batch.
+	budgetExhausted uint64
+	panicsRecovered uint64
+	lanesRetired    uint64
+	batcherRestarts uint64
+
 	queueDepth func() int // sampled at scrape time
 }
 
@@ -117,6 +127,32 @@ func (m *Metrics) countDecode(tokens int, solverChecks uint64) {
 	m.mu.Unlock()
 }
 
+// countLaneRetired records one failed batch record, flagged by cause.
+func (m *Metrics) countLaneRetired(budget, panicked bool) {
+	m.mu.Lock()
+	m.lanesRetired++
+	if budget {
+		m.budgetExhausted++
+	}
+	if panicked {
+		m.panicsRecovered++
+	}
+	m.mu.Unlock()
+}
+
+func (m *Metrics) countBatcherRestart() {
+	m.mu.Lock()
+	m.batcherRestarts++
+	m.mu.Unlock()
+}
+
+// budgetTrips reads the budget-exhaustion counter (healthz degradation).
+func (m *Metrics) budgetTrips() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.budgetExhausted
+}
+
 // Snapshot is a programmatic view of the counters, for tests and the serve
 // benchmark (which would otherwise scrape and parse the text endpoint).
 type Snapshot struct {
@@ -129,6 +165,11 @@ type Snapshot struct {
 	Tokens        uint64
 	SolverChecks  uint64
 	QueueDepth    int
+
+	BudgetExhausted uint64
+	PanicsRecovered uint64
+	LanesRetired    uint64
+	BatcherRestarts uint64
 }
 
 // Snapshot returns a copy of the current counter state.
@@ -146,6 +187,11 @@ func (m *Metrics) Snapshot() Snapshot {
 		MeanBatchSize: m.batchSize.mean(),
 		Tokens:        m.tokens,
 		SolverChecks:  m.solverChecks,
+
+		BudgetExhausted: m.budgetExhausted,
+		PanicsRecovered: m.panicsRecovered,
+		LanesRetired:    m.lanesRetired,
+		BatcherRestarts: m.batcherRestarts,
 	}
 	for route, byCode := range m.requests {
 		cp := make(map[int]uint64, len(byCode))
@@ -217,4 +263,20 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintln(w, "# HELP lejitd_solver_checks_total SMT solver checks attributable to served requests.")
 	fmt.Fprintln(w, "# TYPE lejitd_solver_checks_total counter")
 	fmt.Fprintf(w, "lejitd_solver_checks_total %d\n", m.solverChecks)
+
+	fmt.Fprintln(w, "# HELP lejitd_budget_exhausted_total Requests whose solver budget or deadline ran out mid-decode (HTTP 503).")
+	fmt.Fprintln(w, "# TYPE lejitd_budget_exhausted_total counter")
+	fmt.Fprintf(w, "lejitd_budget_exhausted_total %d\n", m.budgetExhausted)
+
+	fmt.Fprintln(w, "# HELP lejitd_panics_recovered_total Decoding panics converted into per-request failures (HTTP 500).")
+	fmt.Fprintln(w, "# TYPE lejitd_panics_recovered_total counter")
+	fmt.Fprintf(w, "lejitd_panics_recovered_total %d\n", m.panicsRecovered)
+
+	fmt.Fprintln(w, "# HELP lejitd_lanes_retired_total Batch records that failed while their batch-mates kept decoding.")
+	fmt.Fprintln(w, "# TYPE lejitd_lanes_retired_total counter")
+	fmt.Fprintf(w, "lejitd_lanes_retired_total %d\n", m.lanesRetired)
+
+	fmt.Fprintln(w, "# HELP lejitd_batcher_restarts_total Batcher goroutine restarts after an escaped panic.")
+	fmt.Fprintln(w, "# TYPE lejitd_batcher_restarts_total counter")
+	fmt.Fprintf(w, "lejitd_batcher_restarts_total %d\n", m.batcherRestarts)
 }

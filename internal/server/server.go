@@ -50,6 +50,10 @@ type Config struct {
 	// Seed is the base for server-assigned RNG seeds when a request does
 	// not pin its own.
 	Seed int64
+	// DegradedThreshold makes /healthz report status "degraded" (still HTTP
+	// 200, so load balancers keep the instance) once at least this many
+	// requests have exhausted their solver budget. 0 disables degradation.
+	DegradedThreshold int
 	// Logf, when set, receives serving log lines.
 	Logf func(format string, args ...any)
 }
@@ -180,18 +184,37 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
-// batcher is the single consumer of the admission queue: it takes the first
-// waiting job, keeps the window open for BatchWindow (or until MaxBatch),
-// and dispatches the batch to core.DecodeRequests so concurrent callers
-// share one worker-pool invocation and its per-clone solver state.
+// batcher supervises the queue consumer: core's recover barriers turn lane
+// panics into per-record errors, but if one still escapes a batch (or the
+// dispatch plumbing itself panics), the loop is restarted instead of leaving
+// the daemon accepting requests that no one will ever decode. Jobs caught in
+// the dead batch fail by deadline (504); everything after resumes normally.
 func (s *Server) batcher() {
 	defer s.batcherWG.Done()
+	for !s.batcherLoop() {
+		s.metrics.countBatcherRestart()
+		s.logf("server: batcher restarted after panic")
+	}
+}
+
+// batcherLoop is the single consumer of the admission queue: it takes the
+// first waiting job, keeps the window open for BatchWindow (or until
+// MaxBatch), and dispatches the batch to core.DecodeRequests so concurrent
+// callers share one worker-pool invocation and its per-clone solver state.
+// Returns true on clean stop; a panic is recovered and returns false so the
+// supervisor restarts it.
+func (s *Server) batcherLoop() (stopped bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.logf("server: batcher panicked: %v", r)
+		}
+	}()
 	for {
 		var first *job
 		select {
 		case first = <-s.queue:
 		case <-s.stop:
-			return
+			return true
 		}
 		batch := append(make([]*job, 0, s.cfg.MaxBatch), first)
 		timer := time.NewTimer(s.cfg.BatchWindow)
@@ -226,6 +249,16 @@ func (s *Server) runBatch(batch []*job) {
 		return
 	}
 	for i, j := range batch {
+		if out[i].Err != nil {
+			// Classify the retired lane here, not in the response writer:
+			// a handler that already gave up on its deadline never reads
+			// resp, but the failure still happened and must be counted.
+			var pe *core.PanicError
+			s.metrics.countLaneRetired(
+				errors.Is(out[i].Err, core.ErrBudget),
+				errors.As(out[i].Err, &pe),
+			)
+		}
 		j.resp <- jobResult{res: out[i].Res, err: out[i].Err, batchSize: len(batch)}
 	}
 }
@@ -281,9 +314,14 @@ func (s *Server) serveDecode(w http.ResponseWriter, r *http.Request, route strin
 		return writeError(w, http.StatusBadRequest, err.Error(), "")
 	}
 
+	// Clients may shorten their deadline but never extend it past the
+	// server's: an uncapped timeout_ms would let one caller pin a batcher
+	// lane (and its engine clone) for arbitrarily long.
 	timeout := s.cfg.Timeout
 	if req.TimeoutMs > 0 {
-		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+		if t := time.Duration(req.TimeoutMs) * time.Millisecond; t < timeout {
+			timeout = t
+		}
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
@@ -326,12 +364,22 @@ func (s *Server) serveDecode(w http.ResponseWriter, r *http.Request, route strin
 
 func (s *Server) writeDecodeResult(w http.ResponseWriter, res jobResult) int {
 	if res.err != nil {
+		var pe *core.PanicError
 		switch {
 		case errors.Is(res.err, context.DeadlineExceeded), errors.Is(res.err, context.Canceled):
 			s.metrics.countTimeout()
 			return writeError(w, http.StatusGatewayTimeout, "deadline exceeded", "timeout")
+		case errors.Is(res.err, core.ErrBudget):
+			// The solver gave up inside its budget, not a proof the request
+			// is bad: the caller may retry (ideally elsewhere or later).
+			w.Header().Set("Retry-After", "1")
+			return writeError(w, http.StatusServiceUnavailable, res.err.Error(), "budget")
 		case isInfeasible(res.err):
 			return writeError(w, http.StatusUnprocessableEntity, res.err.Error(), "infeasible")
+		case errors.As(res.err, &pe):
+			// The lane panicked and was retired alone; its batch-mates are
+			// unaffected. The stack stays in the server log, not the reply.
+			return writeError(w, http.StatusInternalServerError, res.err.Error(), "panic")
 		default:
 			return writeError(w, http.StatusInternalServerError, res.err.Error(), "")
 		}
@@ -410,10 +458,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
 		return
 	}
+	status := "ok"
+	trips := s.metrics.budgetTrips()
+	if t := s.cfg.DegradedThreshold; t > 0 && trips >= uint64(t) {
+		// Still HTTP 200: the instance serves fine-behaved requests; the
+		// degraded status is an operator signal that budgets are tripping
+		// (misconfigured budget, or a pathological rule set in the traffic).
+		status = "degraded"
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":    "ok",
-		"uptime_s":  time.Since(s.started).Seconds(),
-		"max_batch": s.cfg.MaxBatch,
+		"status":           status,
+		"uptime_s":         time.Since(s.started).Seconds(),
+		"max_batch":        s.cfg.MaxBatch,
+		"budget_exhausted": trips,
 	})
 }
 

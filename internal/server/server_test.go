@@ -361,6 +361,10 @@ func TestMetricsEndpointRenders(t *testing.T) {
 		"lejitd_request_duration_seconds_count 1",
 		"lejitd_tokens_total",
 		"lejitd_solver_checks_total",
+		"lejitd_budget_exhausted_total 0",
+		"lejitd_panics_recovered_total 0",
+		"lejitd_lanes_retired_total 0",
+		"lejitd_batcher_restarts_total 0",
 	} {
 		if !strings.Contains(string(data), want) {
 			t.Errorf("metrics missing %q:\n%s", want, data)

@@ -7,7 +7,11 @@ import "fmt"
 // Unsat if no model exists, or Unknown on budget exhaustion.
 //
 // The search is a binary descent on satisfiability: each probe conjoins
-// e ≤ mid and re-checks, so it needs O(log range) Check calls.
+// e ≤ mid and re-checks, so it needs O(log range) Check calls. Every probe
+// runs under the solver's per-Check budget (MaxNodes, MaxProps, Timeout,
+// and any context attached via SetContext), so a Minimize over a
+// pathological store costs at most O(log range) budgets before giving up
+// with Unknown rather than running forever.
 func (s *Solver) Minimize(e LinExpr, extra ...Formula) (int64, Status) {
 	s.stats.OptQueries++
 	res := s.CheckWith(extra...)

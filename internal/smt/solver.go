@@ -1,8 +1,10 @@
 package smt
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"time"
 )
 
 // Status is the outcome of a satisfiability check.
@@ -32,6 +34,10 @@ func (s Status) String() string {
 type Result struct {
 	Status Status
 	Model  map[Var]int64
+	// Err explains an Unknown status: ErrBudget when the node/propagation
+	// budget or the per-Check deadline ran out, the context's error when the
+	// Check was abandoned via SetContext. nil for Sat and Unsat.
+	Err error
 }
 
 // Stats counts solver work, cumulative over the solver's lifetime.
@@ -43,9 +49,13 @@ type Stats struct {
 	OptQueries   uint64 // Minimize/Maximize invocations
 	BaseBuilds   uint64 // warm-start base stores built (≤ one per epoch)
 	WarmStarts   uint64 // Checks served from a memoized base store
+	BudgetStops  uint64 // Checks that returned Unknown (budget, deadline, or cancellation)
 }
 
-// ErrBudget is returned when the search exceeds its node budget.
+// ErrBudget is carried by an Unknown Result whose Check exceeded its node or
+// propagation budget or its per-Check deadline (Solver.MaxNodes, MaxProps,
+// Timeout). It is the signal a serving layer maps to "overloaded, retry"
+// rather than "infeasible".
 var ErrBudget = errors.New("smt: search budget exhausted")
 
 // Solver is an incremental SMT solver for QF-LIA over finite-domain integer
@@ -72,6 +82,19 @@ type Solver struct {
 	// Unknown when exceeded. The default is generous for LeJIT-scale
 	// problems (tens of variables, hundreds of constraints).
 	MaxNodes uint64
+	// MaxProps bounds the propagation steps (individual bound tightenings)
+	// one Check may perform; 0 means unlimited. Together with MaxNodes it
+	// forms the decision/propagation step budget: a pathological rule set
+	// whose cost is propagation-heavy rather than branch-heavy still stops.
+	MaxProps uint64
+	// Timeout bounds one Check's wall-clock time; 0 means none. The clock is
+	// polled every budgetPollMask+1 nodes, so very small timeouts resolve at
+	// node granularity, not instantly.
+	Timeout time.Duration
+
+	// ctx, when set via SetContext, is polled during search: cancellation or
+	// deadline expiry abandons the Check mid-search with the context's error.
+	ctx context.Context
 
 	stats Stats
 
@@ -202,6 +225,13 @@ func (s *Solver) Pop() {
 	s.epoch++
 }
 
+// SetContext attaches ctx to subsequent Checks: once it is cancelled or its
+// deadline passes, an in-flight Check stops mid-search and returns Unknown
+// with the context's error in Result.Err. Pass nil to detach. This is how a
+// serving layer's per-request deadline interrupts solver work between — and
+// within — token steps.
+func (s *Solver) SetContext(ctx context.Context) { s.ctx = ctx }
+
 // Epoch identifies the solver's logical state: it advances on every NewVar,
 // Assert, and Pop, and is stable across Check/CheckWith. Callers may key
 // memoized query results by it (LeJIT's range-feasibility oracle cache does).
@@ -224,6 +254,13 @@ func (s *Solver) Check() Result {
 // store and only compiles the extra formulas.
 func (s *Solver) CheckWith(extra ...Formula) Result {
 	s.stats.Checks++
+	if s.ctx != nil {
+		// A request already cancelled before this Check does no work at all.
+		if err := s.ctx.Err(); err != nil {
+			s.stats.BudgetStops++
+			return Result{Status: Unknown, Err: err}
+		}
+	}
 	if s.base != nil && s.base.epoch == s.epoch {
 		s.stats.WarmStarts++
 	}
@@ -244,9 +281,13 @@ func (s *Solver) CheckWith(extra ...Formula) Result {
 		disj = append(disj, ca.disj...)
 	}
 	st := &searchState{
-		dom:   base.dom.clone(),
-		solv:  s,
-		limit: s.MaxNodes,
+		dom:     base.dom.clone(),
+		solv:    s,
+		limit:   s.MaxNodes,
+		propsIn: s.stats.Propagations,
+	}
+	if s.Timeout > 0 {
+		st.deadline = time.Now().Add(s.Timeout)
 	}
 	// The base domains are at fixpoint with the base constraints, so only
 	// the extras (and whatever they disturb) need propagating; the search's
@@ -261,7 +302,15 @@ func (s *Solver) CheckWith(extra ...Formula) Result {
 	}
 	st.skipProp = true
 	status, model := st.search(nil, cons, disj)
-	return Result{Status: status, Model: model}
+	res := Result{Status: status, Model: model}
+	if status == Unknown {
+		s.stats.BudgetStops++
+		res.Err = st.stopErr
+		if res.Err == nil {
+			res.Err = ErrBudget
+		}
+	}
+	return res
 }
 
 // currentBase returns the memoized base store for the current epoch,
@@ -376,12 +425,23 @@ func (s *Solver) propagateWakeup(d *domains, cons []lincon, watch [][]int32, wat
 	return ok
 }
 
+// budgetPollMask gates the wall-clock and context polls to every 64th node:
+// frequent enough that a stalled Check stops within microseconds of real
+// work, rare enough that time.Now never shows up in profiles.
+const budgetPollMask = 63
+
 // searchState carries per-Check search bookkeeping shared across branches.
 type searchState struct {
 	dom   *domains
 	solv  *Solver
 	nodes uint64
 	limit uint64
+	// propsIn snapshots cumulative propagations at Check entry; deadline is
+	// the per-Check wall-clock cutoff (zero = none). stopErr records why the
+	// search gave up, reported as Result.Err alongside Unknown.
+	propsIn  uint64
+	deadline time.Time
+	stopErr  error
 	// watch is the epoch's var→constraint index covering cons[:watchN]
 	// (the warm-started base); constraints beyond watchN were added during
 	// this Check and are found by scan.
@@ -396,6 +456,31 @@ type searchState struct {
 	hasDirty bool
 }
 
+// overBudget reports why the search must stop, or nil to continue. Node and
+// propagation budgets are exact; the deadline and the attached context are
+// polled every budgetPollMask+1 nodes, starting at the first node so that an
+// already-expired deadline stops even a short search.
+func (st *searchState) overBudget() error {
+	if st.nodes > st.limit {
+		return ErrBudget
+	}
+	s := st.solv
+	if s.MaxProps > 0 && s.stats.Propagations-st.propsIn > s.MaxProps {
+		return ErrBudget
+	}
+	if st.nodes&budgetPollMask == 1 {
+		if s.ctx != nil {
+			if err := s.ctx.Err(); err != nil {
+				return err
+			}
+		}
+		if !st.deadline.IsZero() && time.Now().After(st.deadline) {
+			return ErrBudget
+		}
+	}
+	return nil
+}
+
 // search is the DPLL core. pending holds formulas not yet decomposed; cons
 // holds normalized linear constraints already in the store; disj holds
 // unresolved disjunctions. The domains in st.dom reflect the current branch.
@@ -403,7 +488,8 @@ type searchState struct {
 func (st *searchState) search(pending []Formula, cons []lincon, disj []orF) (Status, map[Var]int64) {
 	st.nodes++
 	st.solv.stats.Nodes++
-	if st.nodes > st.limit {
+	if err := st.overBudget(); err != nil {
+		st.stopErr = err
 		return Unknown, nil
 	}
 
