@@ -21,7 +21,7 @@ verify: tier1
 	$(GO) vet ./...
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
-	$(GO) test -race ./internal/core/... ./internal/smt/... ./internal/server/...
+	$(GO) test -race ./internal/core/... ./internal/smt/... ./internal/server/... ./internal/prefixcache/...
 
 # Kernel microbenchmarks (vs seed-copy references) plus the perf figure,
 # which writes the machine-readable report.
@@ -34,7 +34,8 @@ perf:
 	$(GO) run ./cmd/lejit-bench -scale tiny -fig perf -json $(BENCH_OUT)
 
 # Serving load test: end-to-end HTTP throughput/latency through lejitd's
-# micro-batching queue (BENCH_3.json in the committed tree).
+# micro-batching queue (BENCH_3.json in the committed tree), plus the
+# warm-vs-cold prefix-cache comparison (BENCH_5.json).
 bench-serve:
 	$(GO) run ./cmd/lejit-bench -scale tiny -fig serve -json $(BENCH_OUT)
 

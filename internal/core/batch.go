@@ -39,6 +39,29 @@ type BatchRequest struct {
 	// Decode, when non-nil, overrides the batch-level decode function for
 	// this record (e.g. a per-request baseline mode).
 	Decode DecodeCtxFn
+	// NoPrefixCache opts this record out of the engine's cross-request
+	// prefix cache: no warm start and no snapshot capture. Output is
+	// unaffected either way (warm decodes are bit-identical); the knob
+	// exists for isolation — e.g. keeping a tenant's prompts out of shared
+	// cache state — and for cold-path measurement.
+	NoPrefixCache bool
+}
+
+// prefixCacheOffKey marks a context whose decodes must skip the prefix
+// cache (see DisablePrefixCache).
+type prefixCacheOffKey struct{}
+
+// DisablePrefixCache returns a context under which guided decodes neither
+// consult nor populate the engine's prefix cache. Used by the serving layer
+// for per-request opt-out; callers invoking ImputeCtx/GenerateCtx directly
+// can use it too.
+func DisablePrefixCache(ctx context.Context) context.Context {
+	return context.WithValue(ctx, prefixCacheOffKey{}, true)
+}
+
+func prefixCacheDisabled(ctx context.Context) bool {
+	off, _ := ctx.Value(prefixCacheOffKey{}).(bool)
+	return off
 }
 
 // BatchResult pairs one prompt's decode outcome with its index.
@@ -213,6 +236,9 @@ func (e *Engine) runRequest(ctx context.Context, reqs []BatchRequest, i int, see
 	if err := rctx.Err(); err != nil {
 		out[i].Err = err
 		return false
+	}
+	if reqs[i].NoPrefixCache {
+		rctx = DisablePrefixCache(rctx)
 	}
 	s := batchSeed(seed, i)
 	if reqs[i].Seed != nil {

@@ -15,6 +15,8 @@ package core
 
 import (
 	"fmt"
+	"hash/fnv"
+	"io"
 	"math"
 	"math/rand"
 	"strconv"
@@ -23,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/nn"
+	"repro/internal/prefixcache"
 	"repro/internal/rules"
 	"repro/internal/smt"
 	"repro/internal/vocab"
@@ -181,6 +184,14 @@ type Config struct {
 	// simulate a solver stall), a panic exercises the recover barrier, and
 	// a sleep makes the lane slow. Never set in production configs.
 	FaultHook func(FaultSite) error
+	// PrefixCache, when set, lets guided decodes start warm from (and
+	// capture into) a cross-request radix prefix cache pairing transformer
+	// KV snapshots with solver witness state (DESIGN.md §11). Only engines
+	// whose LM is a WrapNN transformer participate; warm output stays
+	// bit-identical to cold. Share one cache across every clone of one
+	// engine family (SetPrefixCache does this); snapshots from a different
+	// rule environment are fenced off by the rule-epoch fingerprint.
+	PrefixCache *prefixcache.Cache
 }
 
 // Stats reports what one decode did.
@@ -207,6 +218,12 @@ type Stats struct {
 	// LogProb is the renormalized log-probability of the returned token
 	// sequence (filled by BeamImpute; 0 for samplers).
 	LogProb float64
+	// PrefixHitTokens is how many leading tokens (BOS included) this decode
+	// restored from the cross-request prefix cache instead of running
+	// through the transformer; 0 means a cold decode. PrefixCaptures counts
+	// snapshots this decode inserted into the cache.
+	PrefixHitTokens int
+	PrefixCaptures  int
 }
 
 // Result is one decoded record plus its statistics.
@@ -261,6 +278,13 @@ type Engine struct {
 	// attempt (oracle.go). Shared across records: the rule formula never
 	// changes after construction.
 	varConjuncts map[smt.Var][]smt.Formula
+	// fingerprint is the rule-epoch fingerprint stamped on prefix-cache
+	// snapshots: a hash of everything that decides whether a cached
+	// (KV state, witness model) pair is still valid — the rule set, schema,
+	// grammar, decode mode, and the LM's identity. Computed only when a
+	// PrefixCache is configured; a cache shared across engine families with
+	// different fingerprints simply never cross-serves.
+	fingerprint uint64
 	// poolMu guards pool, a free list of idle clones used by the lock-step
 	// scheduler (lockstep.go) so per-lane engines are cloned once and then
 	// recycled across batches. Only the root engine of a clone family pools.
@@ -351,8 +375,59 @@ func newEngine(cfg Config, ruleFormula smt.Formula) (*Engine, error) {
 			}
 		}
 	}
+	if cfg.PrefixCache != nil {
+		e.fingerprint = ruleFingerprint(cfg)
+	}
 	return e, nil
 }
+
+// ruleFingerprint hashes the rule environment a prefix-cache snapshot is
+// valid under. Two engines agree on a fingerprint exactly when a snapshot
+// captured by one is sound for the other: same compiled rules (RuleSet.String
+// is the parseable DSL rendering), same schema domains, same grammar (the
+// token⇄slot-value mapping), same enforcement mode, and the same transformer
+// weights (by model identity — the cache is in-process, and cached sessions
+// keep their model reachable, so the pointer cannot be recycled under a live
+// entry). Sampling knobs (temperature, top-K, seeds) are deliberately
+// excluded: they shape what is sampled after the snapshot, not the validity
+// of the state restored from it.
+func ruleFingerprint(cfg Config) uint64 {
+	h := fnv.New64a()
+	if lm, ok := cfg.LM.(nnLM); ok {
+		fmt.Fprintf(h, "model=%p;", lm.m)
+	}
+	fmt.Fprintf(h, "vocab=%d;mode=%d;", cfg.Tok.Size(), cfg.Mode)
+	for _, f := range cfg.Schema.Fields() {
+		fmt.Fprintf(h, "f=%s:%d:%d:%d:%d;", f.Name, f.Kind, f.Lo, f.Hi, f.Len)
+	}
+	for _, s := range cfg.Slots {
+		fmt.Fprintf(h, "s=%s[%d]%c;", s.Field, s.Index, s.Sep)
+	}
+	if cfg.Rules != nil {
+		io.WriteString(h, cfg.Rules.String())
+	}
+	return h.Sum64()
+}
+
+// SetPrefixCache installs (or, with nil, removes) the cross-request prefix
+// cache on the engine after construction, mirroring SetSolverBudget: the
+// cache is written into the config so future clones inherit it, and idle
+// pooled clones are updated in place. Call before decoding begins.
+func (e *Engine) SetPrefixCache(c *prefixcache.Cache) {
+	e.cfg.PrefixCache = c
+	if c != nil && e.fingerprint == 0 {
+		e.fingerprint = ruleFingerprint(e.cfg)
+	}
+	e.poolMu.Lock()
+	for _, cl := range e.pool {
+		cl.cfg.PrefixCache = c
+		cl.fingerprint = e.fingerprint
+	}
+	e.poolMu.Unlock()
+}
+
+// PrefixCache returns the engine's prefix cache (nil when disabled).
+func (e *Engine) PrefixCache() *prefixcache.Cache { return e.cfg.PrefixCache }
 
 // SetSolverBudget installs a per-Check solver budget (node limit and
 // wall-clock deadline; a zero leaves that dimension unlimited) on the engine

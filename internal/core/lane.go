@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/nn"
+	"repro/internal/prefixcache"
 	"repro/internal/rules"
 	"repro/internal/smt"
 	"repro/internal/transition"
@@ -40,6 +42,19 @@ type laneDecoder struct {
 	pending  []int // BOS + prompt tokens not yet handed to the LM
 	vals     []int64
 
+	// Prefix-cache state. key accumulates every token the LM has consumed
+	// (BOS first), keySlots the grammar slots those tokens complete; together
+	// they name the radix-tree position of the lane's current prefix. warm
+	// holds a pending cache hit until the driver claims it via applyWarm;
+	// capture is the driver-installed hook that freezes the LM state at a
+	// boundary (nil when the LM is not a paged nn.Session).
+	useCache bool
+	warm     *prefixcache.Hit
+	key      []int
+	keySlots int
+	capture  func() *nn.Session
+	genCaps  int // generated-region snapshots taken by this lane
+
 	// Per-slot state, rebuilt by beginSlot for e.cfg.Slots[slot].
 	slot       int
 	inSlot     bool
@@ -52,22 +67,63 @@ type laneDecoder struct {
 	allowed    []int
 }
 
+// promptPlan is a prompt rendered and tokenized once. The lock-step
+// scheduler precomputes plans so identical prompts in one batch are encoded
+// a single time and shared read-only across lanes; the per-record path
+// builds one on the fly.
+type promptPlan struct {
+	text     string
+	fromSlot int
+	ids      []int // encoded prompt tokens, BOS excluded; never mutated
+	err      error
+}
+
+// planPrompt renders and tokenizes known's prompt.
+func (e *Engine) planPrompt(known rules.Record) *promptPlan {
+	text, fromSlot, err := e.promptFor(known)
+	if err != nil {
+		return &promptPlan{err: err}
+	}
+	p := &promptPlan{text: text, fromSlot: fromSlot}
+	p.ids, p.err = e.cfg.Tok.Encode(text)
+	return p
+}
+
 // newLaneDecoder starts one record's guided decode on e: it asserts the
 // known prefix under a Push frame, runs the feasibility pre-check, and
 // queues BOS plus the rendered prompt for the LM. On any setup failure the
 // returned decoder is already finished with the error recorded.
 func (e *Engine) newLaneDecoder(ctx context.Context, known rules.Record, rng *rand.Rand) *laneDecoder {
+	return e.newLaneDecoderPlan(ctx, known, rng, nil)
+}
+
+// newLaneDecoderPlan is newLaneDecoder with an optional precomputed prompt
+// plan (nil → plan here).
+func (e *Engine) newLaneDecoderPlan(ctx context.Context, known rules.Record, rng *rand.Rand, plan *promptPlan) *laneDecoder {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	ld := &laneDecoder{e: e, ctx: ctx, rng: rng, known: known}
-	prompt, fromSlot, err := e.promptFor(known)
-	if err != nil {
-		ld.fail(err)
+	if plan == nil {
+		plan = e.planPrompt(known)
+	}
+	if plan.err != nil {
+		ld.fail(plan.err)
 		return ld
 	}
-	ld.fromSlot, ld.slot = fromSlot, fromSlot
+	ld.fromSlot, ld.slot = plan.fromSlot, plan.fromSlot
 	ld.checksBefore = e.solver.Stats().Checks
+	ld.pending = append(append(make([]int, 0, len(plan.ids)+1), vocab.BOS), plan.ids...)
+
+	// Longest-prefix lookup before any solver or LM work. Only nn-backed
+	// engines participate: a cached snapshot is a frozen nn.Session, which
+	// is meaningless to any other LM implementation.
+	if cache := e.cfg.PrefixCache; cache != nil && !prefixCacheDisabled(ctx) {
+		if _, ok := e.cfg.LM.(nnLM); ok {
+			ld.useCache = true
+			ld.warm = cache.Lookup(ld.pending, e.fingerprint)
+		}
+	}
 
 	// Attach the request's context to the solver for the lane's lifetime:
 	// a cancelled request now abandons a Check mid-search (the solver polls
@@ -86,28 +142,51 @@ func (e *Engine) newLaneDecoder(ctx context.Context, known rules.Record, rng *ra
 			e.solver.Assert(smt.Eq(smt.V(bv[i]), smt.C(v)))
 		}
 	}
-	r := e.solver.Check()
-	if r.Status == smt.Unknown {
-		// Budget or cancellation — not a proof of infeasibility.
-		ld.fail(fmt.Errorf("core: prompt feasibility check gave up: %w", r.Err))
-		return ld
+	if ld.warm != nil && ld.warm.Tokens == len(ld.pending) && ld.warm.Model != nil {
+		// Full-prompt hit with a witness: the snapshot's model satisfies the
+		// rules plus every value its key pins, and the key is this exact
+		// prompt — the same assertion stack just built (the grammar makes
+		// token prefix ⇄ value assignment one-to-one, and the rule-epoch
+		// fingerprint pinned the rule side). That proves Sat, so the
+		// feasibility Check is skipped and the witness seeds the first
+		// slot's oracle directly.
+		e.noteModel(ld.warm.Model)
+	} else {
+		r := e.solver.Check()
+		if r.Status == smt.Unknown {
+			// Budget or cancellation — not a proof of infeasibility.
+			ld.fail(fmt.Errorf("core: prompt feasibility check gave up: %w", r.Err))
+			return ld
+		}
+		if r.Status != smt.Sat {
+			ld.fail(ErrInfeasible{Detail: fmt.Sprintf("prompt %q (%v)", plan.text, r.Status)})
+			return ld
+		}
+		// The feasibility model doubles as the first slot's witness seed.
+		e.noteModel(r.Model)
 	}
-	if r.Status != smt.Sat {
-		ld.fail(ErrInfeasible{Detail: fmt.Sprintf("prompt %q (%v)", prompt, r.Status)})
-		return ld
-	}
-	// The feasibility model doubles as the first slot's witness seed.
-	e.noteModel(r.Model)
 
-	ids, err := e.cfg.Tok.Encode(prompt)
-	if err != nil {
-		ld.fail(err)
-		return ld
-	}
-	ld.pending = append(append(make([]int, 0, len(ids)+1), vocab.BOS), ids...)
-	ld.vals = make([]int64, 0, len(e.cfg.Slots)-fromSlot)
+	ld.vals = make([]int64, 0, len(e.cfg.Slots)-plan.fromSlot)
 	ld.allowed = make([]int, 0, 11)
 	return ld
+}
+
+// applyWarm consumes the lane's pending cache hit: the already-consumed
+// prefix is dropped from the LM feed queue and the caller takes ownership of
+// the restored session (the solo driver decodes on it directly; the
+// lock-step driver copies it into its lane and releases it). Returns nil on
+// a cold lane. Must be called before the first next().
+func (ld *laneDecoder) applyWarm() *nn.Session {
+	if ld.warm == nil || ld.finished {
+		return nil
+	}
+	h := ld.warm
+	ld.warm = nil
+	ld.key = append(ld.key, ld.pending[:h.Tokens]...)
+	ld.keySlots = h.Slots
+	ld.pending = ld.pending[h.Tokens:]
+	ld.res.Stats.PrefixHitTokens = h.Tokens
+	return h.Sess
 }
 
 // done reports whether the record is complete (successfully or not); once
@@ -130,6 +209,11 @@ func (ld *laneDecoder) finish() {
 		return
 	}
 	ld.finished = true
+	if ld.warm != nil {
+		// A hit the driver never claimed: drop its page references.
+		ld.warm.Sess.Release()
+		ld.warm = nil
+	}
 	ld.res.Stats.SolverChecks = ld.e.solver.Stats().Checks - ld.checksBefore
 	if ld.pushed {
 		ld.e.solver.Pop()
@@ -269,9 +353,19 @@ func (ld *laneDecoder) beginSlot() error {
 // performs the post-append bookkeeping: token accounting, value completion
 // on a separator (dynamic partial instantiation: the finished value is
 // asserted so the solver's view of active rules advances with generation),
-// and record assembly after the last slot.
+// prefix-cache snapshot capture at slot boundaries, and record assembly
+// after the last slot.
 func (ld *laneDecoder) advance(tok int) error {
 	e := ld.e
+	ld.key = append(ld.key, tok)
+	// A slot boundary is the separator that completes slot keySlots —
+	// whether it arrived as prompt text or was just sampled. (A separator
+	// token can never be confused with a digit, so the comparison is exact.)
+	boundary := false
+	if ld.keySlots < len(e.cfg.Slots) && tok == e.cfg.Tok.ID(e.cfg.Slots[ld.keySlots].Sep) {
+		ld.keySlots++
+		boundary = true
+	}
 	if ld.sampled {
 		ld.res.Stats.Tokens++
 		if tok == ld.sepID {
@@ -296,9 +390,65 @@ func (ld *laneDecoder) advance(tok int) error {
 			return nil
 		}
 	}
+	if boundary {
+		// After the assert above, so a captured witness covers the pinned
+		// value and a restored one re-arms the next slot's oracle.
+		ld.maybeCapture()
+	}
 	if len(ld.pending) == 0 && !ld.inSlot && ld.slot >= len(e.cfg.Slots) {
 		ld.res.Rec = e.assemble(ld.known, ld.fromSlot, ld.vals)
 		ld.finish()
 	}
 	return nil
+}
+
+// maxGenCaptures bounds how many sampled-region boundaries one lane may
+// snapshot. Prompt-region boundaries (where clustering lives) are not
+// counted against it; sampled-region snapshots mostly pay off when a later
+// request's longer prompt extends into this record's generated values, so a
+// couple per record buys that without cloning at every separator.
+const maxGenCaptures = 2
+
+// maybeCapture freezes the lane's paired (LM, solver) state at the current
+// slot boundary and inserts it into the prefix cache, unless the boundary
+// is already cached, capture is impossible, or the record is complete (a
+// full-record key can never be another request's proper prefix).
+func (ld *laneDecoder) maybeCapture() {
+	e := ld.e
+	if !ld.useCache || ld.capture == nil || ld.keySlots >= len(e.cfg.Slots) {
+		return
+	}
+	gen := ld.keySlots > ld.fromSlot
+	if gen && ld.genCaps >= maxGenCaptures {
+		return
+	}
+	cache := e.cfg.PrefixCache
+	if !cache.NeedsInsert(ld.key, e.fingerprint) {
+		return
+	}
+	sess := ld.capture()
+	if sess == nil {
+		return
+	}
+	// Pair the KV snapshot with the solver's witness when one is current for
+	// this epoch; the witness may assign more than the key pins (later knowns
+	// are already asserted), which only makes it a stronger model of the
+	// key's assertion set. A nil model still warm-starts the transformer.
+	var model map[smt.Var]int64
+	if e.lastModel != nil && e.lastModelEpoch == e.solver.Epoch() {
+		model = make(map[smt.Var]int64, len(e.lastModel))
+		for k, v := range e.lastModel {
+			model[k] = v
+		}
+	}
+	key := append([]int(nil), ld.key...)
+	ok := cache.Insert(key, &prefixcache.Snapshot{
+		Sess: sess, Model: model, RuleEpoch: e.fingerprint, Slots: ld.keySlots,
+	})
+	if ok {
+		ld.res.Stats.PrefixCaptures++
+		if gen {
+			ld.genCaps++
+		}
+	}
 }

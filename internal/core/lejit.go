@@ -4,6 +4,7 @@ import (
 	"context"
 	"math/rand"
 
+	"repro/internal/nn"
 	"repro/internal/rules"
 )
 
@@ -55,8 +56,23 @@ func (e *Engine) guided(ctx context.Context, known rules.Record, rng *rand.Rand)
 	ld := e.newLaneDecoder(ctx, known, rng)
 	defer ld.finish()
 	if !ld.done() {
-		sess := e.cfg.LM.NewSession()
+		var sess Session
 		var logits []float32
+		if ws := ld.applyWarm(); ws != nil {
+			// Prefix-cache hit: decode directly on the restored session. Its
+			// logits are the model's output after the cached prefix, exactly
+			// what a cold decode would have computed token by token.
+			sess = ws
+			logits = ws.Logits()
+		} else {
+			sess = e.cfg.LM.NewSession()
+		}
+		if ns, ok := sess.(*nn.Session); ok {
+			// Snapshot capture at slot boundaries is a COW clone: pages are
+			// shared, so the cost is O(pages) bookkeeping, not a KV copy.
+			ld.capture = ns.Clone
+			defer ns.Release()
+		}
 		for !ld.done() {
 			tok, err := ld.next(logits)
 			if err != nil {

@@ -55,6 +55,15 @@ func (e *Engine) releaseClone(c *Engine) {
 	e.poolMu.Unlock()
 }
 
+// prefixBatchSession is the optional BatchSession extension the prefix cache
+// needs: seeding a fresh lane from a frozen solo session and freezing a lane
+// back out as one. *nn.BatchSession implements it; a BatchLM whose sessions
+// do not simply decodes cold (any unclaimed hit is released by finish).
+type prefixBatchSession interface {
+	SeedLane(lane int, src *nn.Session) error
+	CloneLane(lane int) *nn.Session
+}
+
 // lsLane is one record in flight inside a lock-step group.
 type lsLane struct {
 	out  *BatchResult
@@ -93,8 +102,9 @@ func (e *Engine) failLane(la *lsLane, err error) {
 // decodeLockStep decodes reqs[i] for every i in idxs through one shared
 // BatchSession, writing outcomes into out. Seeds, per-request contexts, and
 // all decoding decisions are per-lane, so results do not depend on which
-// records share a batch.
-func (e *Engine) decodeLockStep(ctx context.Context, reqs []BatchRequest, idxs []int, seed int64, out []BatchResult, blm BatchLM) {
+// records share a batch. plans[i], when non-nil, is request i's pre-encoded
+// prompt (shared read-only across lanes with identical prompts).
+func (e *Engine) decodeLockStep(ctx context.Context, reqs []BatchRequest, idxs []int, seed int64, out []BatchResult, blm BatchLM, plans []*promptPlan) {
 	bs := blm.NewBatchSession(len(idxs))
 	lanes := make([]*lsLane, 0, len(idxs))
 	for slot, i := range idxs {
@@ -108,6 +118,9 @@ func (e *Engine) decodeLockStep(ctx context.Context, reqs []BatchRequest, idxs [
 			out[i].Err = err
 			continue
 		}
+		if reqs[i].NoPrefixCache {
+			rctx = DisablePrefixCache(rctx)
+		}
 		eng, err := e.acquireClone()
 		if err != nil {
 			out[i].Err = err
@@ -117,12 +130,34 @@ func (e *Engine) decodeLockStep(ctx context.Context, reqs []BatchRequest, idxs [
 		if reqs[i].Seed != nil {
 			s = *reqs[i].Seed
 		}
+		var plan *promptPlan
+		if plans != nil {
+			plan = plans[i]
+		}
 		la := &lsLane{out: &out[i], eng: eng, slot: slot}
+		pbs, canWarm := bs.(prefixBatchSession)
 		if perr := guardLane(func() error {
-			la.ld = eng.newLaneDecoder(rctx, reqs[i].Prompt, rand.New(rand.NewSource(s)))
+			la.ld = eng.newLaneDecoderPlan(rctx, reqs[i].Prompt, rand.New(rand.NewSource(s)), plan)
+			if la.ld.done() || !canWarm {
+				return nil
+			}
+			// A prefix-cache hit seeds the lane's KV block and position
+			// directly; the laneDecoder has already dropped the restored
+			// tokens from its feed queue. Snapshot capture copies the lane
+			// back out of the batch at slot boundaries.
+			if ws := la.ld.applyWarm(); ws != nil {
+				err := pbs.SeedLane(slot, ws)
+				ws.Release()
+				if err != nil {
+					return err
+				}
+			}
+			la.ld.capture = func() *nn.Session { return pbs.CloneLane(la.slot) }
 			return nil
 		}); perr != nil {
-			// Setup panicked: record it and discard the clone unpooled.
+			// Setup panicked or the warm seed failed: a seeded-then-failed
+			// lane cannot fall back to cold (its prompt queue is already
+			// truncated), so record the error and discard the clone unpooled.
 			out[i].Err = perr
 			continue
 		}
@@ -239,6 +274,27 @@ func (e *Engine) decodeRequestsLockStep(ctx context.Context, reqs []BatchRequest
 			rest = append(rest, i)
 		}
 	}
+	// Hoist prompt rendering + tokenization out of lane setup: identical
+	// prompts in one batch (the common serving shape — many requests
+	// conditioned on the same coarse counters) are encoded exactly once and
+	// the plan shared read-only across their lanes.
+	plans := make([]*promptPlan, len(reqs))
+	byText := make(map[string]*promptPlan, len(batched))
+	for _, i := range batched {
+		text, fromSlot, err := e.promptFor(reqs[i].Prompt)
+		if err != nil {
+			plans[i] = &promptPlan{err: err}
+			continue
+		}
+		if p, ok := byText[text]; ok && p.fromSlot == fromSlot {
+			plans[i] = p
+			continue
+		}
+		p := &promptPlan{text: text, fromSlot: fromSlot}
+		p.ids, p.err = e.cfg.Tok.Encode(text)
+		byText[text] = p
+		plans[i] = p
+	}
 	groups := workers
 	if groups > len(batched) {
 		groups = len(batched)
@@ -254,7 +310,7 @@ func (e *Engine) decodeRequestsLockStep(ctx context.Context, reqs []BatchRequest
 		wg.Add(1)
 		go func(idxs []int) {
 			defer wg.Done()
-			e.decodeLockStep(ctx, reqs, idxs, seed, out, blm)
+			e.decodeLockStep(ctx, reqs, idxs, seed, out, blm, plans)
 		}(batched[lo:hi])
 	}
 	// Per-request Decode overrides keep the per-record path, sharing the

@@ -71,9 +71,37 @@ type ServeReport struct {
 	TokensPerSec  float64 `json:"tokens_per_sec"`
 	SolverChecks  uint64  `json:"solver_checks"`
 
+	// Prefix measures the cross-request prefix cache (DESIGN.md §11) on a
+	// prefix-clustered workload: the same request stream served cold (cache
+	// disabled) and warm (cache populated by an identical prior pass).
+	Prefix *PrefixBenchReport `json:"prefix,omitempty"`
+
 	// Warning flags conditions that make parts of the report meaningless
 	// (e.g. GOMAXPROCS=1 serializes the decode pool).
 	Warning string `json:"warning,omitempty"`
+}
+
+// PrefixBenchReport compares warm and cold serving of one prefix-clustered
+// workload. Every request pins its seed, so the warm pass must reproduce the
+// cold pass's records bit for bit (WarmMatchesCold).
+type PrefixBenchReport struct {
+	Requests int `json:"requests"`
+	Clusters int `json:"clusters"` // distinct prompts in the workload
+	CacheMB  int `json:"cache_mb"`
+	NumCPU   int `json:"num_cpu"`
+	Errors   int `json:"errors"`
+
+	Hits    uint64  `json:"hits"`   // warm measured pass
+	Misses  uint64  `json:"misses"` // warm measured pass
+	HitRate float64 `json:"hit_rate"`
+
+	ColdMsPerRecord  float64 `json:"cold_ms_per_record"`
+	WarmMsPerRecord  float64 `json:"warm_ms_per_record"`
+	ColdTokensPerSec float64 `json:"cold_tokens_per_sec"`
+	WarmTokensPerSec float64 `json:"warm_tokens_per_sec"`
+	SpeedupX         float64 `json:"speedup_x"` // cold ms/record ÷ warm ms/record
+
+	WarmMatchesCold bool `json:"warm_matches_cold"`
 }
 
 // RunServeBench stands up a real lejitd server on an ephemeral port and
@@ -185,6 +213,170 @@ func RunServeBench(env *Env, cfg ServeBenchConfig) (*ServeReport, error) {
 	if rep.GoMaxProcs == 1 {
 		rep.Warning = fmt.Sprintf("GOMAXPROCS=1 (NumCPU=%d): the decode pool and HTTP clients share one CPU; latency percentiles reflect serialization", rep.NumCPU)
 	}
+	rep.Prefix, err = runPrefixBench(env, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// benchServer stands up one lejitd instance for a benchmark phase and returns
+// its base URL plus a shutdown function.
+func benchServer(env *Env, cfg ServeBenchConfig, cacheMB int) (*server.Server, string, func() error, error) {
+	eng, err := env.EngineFor(env.ImputeRules, core.LeJIT)
+	if err != nil {
+		return nil, "", nil, err
+	}
+	srv, err := server.New(server.Config{
+		Engine: eng, Rules: env.ImputeRules, Schema: env.Schema,
+		BatchWindow: cfg.BatchWindow, MaxBatch: cfg.MaxBatch, Workers: cfg.Workers,
+		QueueDepth:    cfg.Requests + cfg.Concurrency,
+		Seed:          env.Scale.Seed,
+		PrefixCacheMB: cacheMB,
+	})
+	if err != nil {
+		return nil, "", nil, err
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return nil, "", nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ctx, l) }()
+	shutdown := func() error {
+		cancel()
+		return <-serveErr
+	}
+	return srv, "http://" + l.Addr().String(), shutdown, nil
+}
+
+// runWorkload fires bodies at base with cfg.Concurrency clients and returns
+// the elapsed wall-clock, each response's rendered line (by request index),
+// and the error count.
+func runWorkload(base string, bodies [][]byte, concurrency int) (time.Duration, []string, int) {
+	client := &http.Client{}
+	lines := make([]string, len(bodies))
+	var errs atomic.Int64
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < concurrency; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(bodies) {
+					return
+				}
+				resp, err := client.Post(base+"/v1/impute", "application/json", bytes.NewReader(bodies[i]))
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				var dr server.DecodeResponse
+				decErr := json.NewDecoder(resp.Body).Decode(&dr)
+				resp.Body.Close()
+				if decErr != nil || resp.StatusCode != http.StatusOK || !dr.Compliant {
+					errs.Add(1)
+					continue
+				}
+				lines[i] = dr.Line
+			}
+		}()
+	}
+	wg.Wait()
+	return time.Since(start), lines, int(errs.Load())
+}
+
+// runPrefixBench measures the cross-request prefix cache: a prefix-clustered
+// workload (a few distinct prompts, every request seed-pinned) served cold —
+// cache disabled — and then warm — an identical populating pass followed by
+// the measured pass, so every measured request can hit. Bit-identical output
+// between the phases is part of the report, not just a test-suite property.
+func runPrefixBench(env *Env, cfg ServeBenchConfig) (*PrefixBenchReport, error) {
+	const (
+		clusters = 4
+		cacheMB  = 64
+	)
+	test := env.TestRecordsN(0)
+	if len(test) == 0 {
+		return nil, fmt.Errorf("experiments: no test records for prefix bench")
+	}
+	bodies := make([][]byte, cfg.Requests)
+	for i := range bodies {
+		known := CoarseOf(test[i%clusters%len(test)])
+		req := map[string]any{"known": known, "seed": env.Scale.Seed + 100_000 + int64(i)}
+		b, err := json.Marshal(req)
+		if err != nil {
+			return nil, err
+		}
+		bodies[i] = b
+	}
+	env.Logf("experiments: prefix bench — %d requests over %d prompt clusters, cache %d MiB vs cold",
+		cfg.Requests, clusters, cacheMB)
+
+	// Phase A: cold — no cache at all.
+	coldSrv, base, shutdown, err := benchServer(env, cfg, 0)
+	if err != nil {
+		return nil, err
+	}
+	coldElapsed, coldLines, coldErrs := runWorkload(base, bodies, cfg.Concurrency)
+	coldTokens := coldSrv.Metrics().Snapshot().Tokens
+	if err := shutdown(); err != nil {
+		return nil, fmt.Errorf("experiments: prefix bench cold server: %w", err)
+	}
+
+	// Phase B: warm — populate with one identical pass, measure the second.
+	srv, base, shutdown, err := benchServer(env, cfg, cacheMB)
+	if err != nil {
+		return nil, err
+	}
+	_, _, popErrs := runWorkload(base, bodies, cfg.Concurrency)
+	before := srv.Metrics().Snapshot()
+	warmElapsed, warmLines, warmErrs := runWorkload(base, bodies, cfg.Concurrency)
+	after := srv.Metrics().Snapshot()
+	if err := shutdown(); err != nil {
+		return nil, fmt.Errorf("experiments: prefix bench warm server: %w", err)
+	}
+
+	match := true
+	for i := range coldLines {
+		if coldLines[i] != warmLines[i] || coldLines[i] == "" {
+			match = false
+			break
+		}
+	}
+	rep := &PrefixBenchReport{
+		Requests: cfg.Requests, Clusters: clusters, CacheMB: cacheMB,
+		NumCPU: runtime.NumCPU(),
+		Errors: coldErrs + popErrs + warmErrs,
+		Hits:   after.Prefix.Hits - before.Prefix.Hits,
+		Misses: after.Prefix.Misses - before.Prefix.Misses,
+
+		ColdMsPerRecord: float64(coldElapsed.Microseconds()) / 1000 / float64(cfg.Requests),
+		WarmMsPerRecord: float64(warmElapsed.Microseconds()) / 1000 / float64(cfg.Requests),
+
+		WarmMatchesCold: match,
+	}
+	if lookups := rep.Hits + rep.Misses; lookups > 0 {
+		rep.HitRate = float64(rep.Hits) / float64(lookups)
+	}
+	// Tokens per second per phase come from each server's own counters: the
+	// cold server's total, the warm server's delta over the measured pass.
+	// Warm tokens count only the sampled region — the restored prefix costs
+	// no forward passes, which is the point.
+	if coldElapsed > 0 {
+		rep.ColdTokensPerSec = float64(coldTokens) / coldElapsed.Seconds()
+	}
+	if warmElapsed > 0 {
+		rep.WarmTokensPerSec = float64(after.Tokens-before.Tokens) / warmElapsed.Seconds()
+	}
+	if rep.WarmMsPerRecord > 0 {
+		rep.SpeedupX = rep.ColdMsPerRecord / rep.WarmMsPerRecord
+	}
 	return rep, nil
 }
 
@@ -230,5 +422,13 @@ func ServeTable(r *ServeReport) Table {
 		[]string{"batches", itoa64(r.Batches)},
 		[]string{"tokens/sec", f1(r.TokensPerSec)},
 	)
+	if p := r.Prefix; p != nil {
+		t.Rows = append(t.Rows,
+			[]string{"prefix hit rate", fmt.Sprintf("%.0f%% (%d clusters, %d MiB)", 100*p.HitRate, p.Clusters, p.CacheMB)},
+			[]string{"prefix ms/record", fmt.Sprintf("%s cold -> %s warm (%.2fx)", f1(p.ColdMsPerRecord), f1(p.WarmMsPerRecord), p.SpeedupX)},
+			[]string{"prefix tokens/sec", fmt.Sprintf("%s cold -> %s warm", f1(p.ColdTokensPerSec), f1(p.WarmTokensPerSec))},
+			[]string{"prefix warm==cold", fmt.Sprintf("%v", p.WarmMatchesCold)},
+		)
+	}
 	return t
 }

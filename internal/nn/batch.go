@@ -247,7 +247,9 @@ func (bs *BatchSession) Logits(lane int) []float32 {
 // CloneLane extracts lane as an independent single-row Session — same
 // consumed prefix, same pending logits, its own KV cache — so a lane can
 // leave the lock-step batch and continue on the per-record path (beam
-// search, diagnosis) without re-decoding its prefix.
+// search, diagnosis, a prefix-cache snapshot) without re-decoding its
+// prefix. The lane's contiguous cache block is re-sliced into private pages;
+// only the filled positions are copied.
 func (bs *BatchSession) CloneLane(lane int) *Session {
 	m := bs.m
 	v := m.Cfg.Vocab
@@ -257,20 +259,75 @@ func (bs *BatchSession) CloneLane(lane int) *Session {
 	dh := d / m.Cfg.Heads
 	ctx := m.Cfg.Ctx
 	base := lane * ctx * d
-	c.kc = make([][]float32, len(bs.kc))
-	c.vc = make([][]float32, len(bs.vc))
-	n := bs.pos[lane] * dh
-	for l := range bs.kc {
-		c.kc[l] = make([]float32, ctx*d)
-		c.vc[l] = make([]float32, ctx*d)
-		for hd := 0; hd < m.Cfg.Heads; hd++ {
-			off := hd * ctx * dh
-			copy(c.kc[l][off:off+n], bs.kc[l][base+off:base+off+n])
-			copy(c.vc[l][off:off+n], bs.vc[l][base+off:base+off+n])
+	t := bs.pos[lane]
+	c.pages = make([]*kvPage, (t+PageTokens-1)/PageTokens)
+	for pi := range c.pages {
+		pg := newKVPage(m)
+		n := t - pi*PageTokens
+		if n > PageTokens {
+			n = PageTokens
 		}
+		for l := range bs.kc {
+			for hd := 0; hd < m.Cfg.Heads; hd++ {
+				src := base + hd*ctx*dh + pi*PageTokens*dh
+				dst := hd * PageTokens * dh
+				copy(pg.k[l][dst:dst+n*dh], bs.kc[l][src:src+n*dh])
+				copy(pg.v[l][dst:dst+n*dh], bs.vc[l][src:src+n*dh])
+			}
+		}
+		c.pages[pi] = pg
 	}
 	c.initScratch()
 	return c
+}
+
+// SeedLane initializes an empty lane from a single-row Session: the lane's
+// KV block, position, and pending logits become copies of src's, so the
+// lock-step batch resumes exactly where src left off. src is only read —
+// it may be a shared prefix-cache snapshot, and many lanes may be seeded
+// from the same source (each lane gets its own copy of the floats; the
+// batch's contiguous cache layout cannot alias pages). Fails if the lane
+// has already consumed tokens or src belongs to a different model.
+func (bs *BatchSession) SeedLane(lane int, src *Session) error {
+	m := bs.m
+	switch {
+	case lane < 0 || lane >= bs.n:
+		return fmt.Errorf("nn: SeedLane lane %d outside batch of %d", lane, bs.n)
+	case bs.pos[lane] != 0:
+		return fmt.Errorf("nn: SeedLane on a lane with %d tokens consumed", bs.pos[lane])
+	case src.m != m:
+		return fmt.Errorf("nn: SeedLane from a session of a different model")
+	}
+	t := src.pos
+	if t == 0 {
+		return nil
+	}
+	d := m.Cfg.Dim
+	dh := d / m.Cfg.Heads
+	ctx := m.Cfg.Ctx
+	base := lane * ctx * d
+	for l := range bs.kc {
+		for hd := 0; hd < m.Cfg.Heads; hd++ {
+			dst := base + hd*ctx*dh
+			hoff := hd * PageTokens * dh
+			j := 0
+			for pi := 0; j < t; pi++ {
+				n := t - pi*PageTokens
+				if n > PageTokens {
+					n = PageTokens
+				}
+				kp := src.pages[pi].k[l][hoff:]
+				vp := src.pages[pi].v[l][hoff:]
+				copy(bs.kc[l][dst+j*dh:dst+(j+n)*dh], kp[:n*dh])
+				copy(bs.vc[l][dst+j*dh:dst+(j+n)*dh], vp[:n*dh])
+				j += n
+			}
+		}
+	}
+	v := m.Cfg.Vocab
+	copy(bs.logits[lane*v:(lane+1)*v], src.logits)
+	bs.pos[lane] = t
+	return nil
 }
 
 // AppendWeightBytes returns how many parameter bytes one Session.Append

@@ -301,3 +301,106 @@ func BenchmarkBatchAppend(b *testing.B) {
 		})
 	}
 }
+
+// TestSeedLaneMatchesSolo seeds lock-step lanes from a frozen prefix session
+// (the prefix-cache hit path) and requires every subsequent step to stay
+// bit-identical to a solo Session that consumed the full sequence cold.
+// Two lanes share one source to prove seeding never aliases its pages.
+func TestSeedLaneMatchesSolo(t *testing.T) {
+	cfg := Config{Vocab: 13, Ctx: 40, Dim: 24, Heads: 4, Layers: 3}
+	m := goldenModel(t, cfg, 61)
+	rng := rand.New(rand.NewSource(62))
+
+	// Prefix longer than one page so SeedLane walks multiple pages.
+	prefix := randSeq(rng, PageTokens+5, cfg.Vocab)
+	frozen := m.NewSession()
+	for _, tok := range prefix {
+		if err := frozen.Append(tok); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	bs := m.NewBatchSession(3)
+	for _, lane := range []int{0, 2} {
+		if err := bs.SeedLane(lane, frozen); err != nil {
+			t.Fatal(err)
+		}
+		compareLogitsBits(t, bs.Logits(lane), frozen.Logits(), "logits at seed")
+		if bs.Len(lane) != frozen.Len() {
+			t.Fatalf("lane %d: len %d after seed, want %d", lane, bs.Len(lane), frozen.Len())
+		}
+	}
+	// Lane 1 consumes the prefix cold inside the batch.
+	for _, tok := range prefix {
+		if err := bs.AppendBatch([]int{1}, []int{tok}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Divergent suffixes per lane, checked against cold solo sessions.
+	solo := make([]*Session, 3)
+	suffix := make([][]int, 3)
+	for i := range solo {
+		solo[i] = m.NewSession()
+		for _, tok := range prefix {
+			if err := solo[i].Append(tok); err != nil {
+				t.Fatal(err)
+			}
+		}
+		suffix[i] = randSeq(rng, cfg.Ctx-len(prefix), cfg.Vocab)
+	}
+	for step := 0; step < cfg.Ctx-len(prefix); step++ {
+		lanes := []int{0, 1, 2}
+		toks := []int{suffix[0][step], suffix[1][step], suffix[2][step]}
+		if err := bs.AppendBatch(lanes, toks); err != nil {
+			t.Fatal(err)
+		}
+		for i := range lanes {
+			if err := solo[i].Append(toks[i]); err != nil {
+				t.Fatal(err)
+			}
+			compareLogitsBits(t, bs.Logits(i), solo[i].Logits(), "seeded suffix")
+		}
+	}
+
+	// The frozen source must be untouched by the lanes it seeded.
+	if err := frozen.Append(1); err != nil {
+		t.Fatal(err)
+	}
+	ref := m.NewSession()
+	for _, tok := range append(append([]int(nil), prefix...), 1) {
+		if err := ref.Append(tok); err != nil {
+			t.Fatal(err)
+		}
+	}
+	compareLogitsBits(t, frozen.Logits(), ref.Logits(), "frozen after seeding")
+}
+
+// TestSeedLaneErrors pins the guard rails: advanced lanes, bad lane ids, and
+// cross-model sources are rejected without mutating the batch.
+func TestSeedLaneErrors(t *testing.T) {
+	cfg := Config{Vocab: 11, Ctx: 8, Dim: 8, Heads: 2, Layers: 1}
+	m := goldenModel(t, cfg, 71)
+	src := m.NewSession()
+	if err := src.Append(3); err != nil {
+		t.Fatal(err)
+	}
+
+	bs := m.NewBatchSession(2)
+	if err := bs.SeedLane(-1, src); err == nil {
+		t.Fatal("negative lane accepted")
+	}
+	if err := bs.SeedLane(2, src); err == nil {
+		t.Fatal("out-of-range lane accepted")
+	}
+	if err := bs.AppendBatch([]int{0}, []int{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bs.SeedLane(0, src); err == nil {
+		t.Fatal("seeding an advanced lane accepted")
+	}
+	m2 := goldenModel(t, cfg, 72)
+	if err := bs.SeedLane(1, m2.NewSession()); err == nil {
+		t.Fatal("cross-model seed accepted")
+	}
+}

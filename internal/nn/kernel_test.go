@@ -451,9 +451,26 @@ func BenchmarkSessionClone(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		c := s.Clone()
-		_ = c
-	}
+	// share: the clone itself, which only retains page references — no KV
+	// floats move, regardless of how full the session is.
+	b.Run("share", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c := s.Clone()
+			c.Release()
+		}
+	})
+	// fork: clone plus one divergent Append, which pays the copy-on-write
+	// duplication of the shared partial page — the full cost of peeling a
+	// beam (or a prefix-cache hit) off a live prefix.
+	b.Run("fork", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c := s.Clone()
+			if err := c.Append(1); err != nil {
+				b.Fatal(err)
+			}
+			c.Release()
+		}
+	})
 }

@@ -14,12 +14,15 @@ import (
 type Session struct {
 	m   *Model
 	pos int
-	// Per-layer key/value caches in head-major layout: head hd's entry for
-	// position t occupies kc[l][(hd*Ctx+t)*dh : (hd*Ctx+t+1)*dh]. One head's
-	// history is contiguous, so the attention inner loops (dot per cached
-	// position, then the value accumulation) walk sequential memory instead
-	// of striding Dim-wide rows.
-	kc, vc [][]float32
+	// KV cache as a sequence of refcounted pages, PageTokens positions each
+	// (head-major within a page; see kvPage). Pages are allocated on demand,
+	// so a short record touches ceil(pos/PageTokens) pages, not Ctx rows.
+	// Clone shares pages instead of copying them; Append copies a shared
+	// partial page before writing into it (copy-on-write). A frozen session
+	// (e.g. a prefix-cache snapshot) may be Cloned concurrently — the page
+	// refcounts are atomic — but Append/Clone on the *same* session still
+	// must not race, per the no-concurrent-use contract above.
+	pages  []*kvPage
 	logits []float32
 	// Append scratch, allocated once per session. The decode hot path calls
 	// Append once per emitted character, so per-call make() churn dominated
@@ -29,15 +32,10 @@ type Session struct {
 	p                               []float32 // [Ctx] attention row, used up to pos+1
 }
 
-// NewSession starts an empty decoding session.
+// NewSession starts an empty decoding session. KV pages are allocated as
+// tokens arrive.
 func (m *Model) NewSession() *Session {
 	s := &Session{m: m, logits: make([]float32, m.Cfg.Vocab)}
-	s.kc = make([][]float32, m.Cfg.Layers)
-	s.vc = make([][]float32, m.Cfg.Layers)
-	for l := range s.kc {
-		s.kc[l] = make([]float32, m.Cfg.Ctx*m.Cfg.Dim)
-		s.vc[l] = make([]float32, m.Cfg.Ctx*m.Cfg.Dim)
-	}
 	s.initScratch()
 	return s
 }
@@ -75,9 +73,21 @@ func (s *Session) Append(tok int) error {
 	f := m.Cfg.ff() * d
 	h := m.Cfg.Heads
 	dh := d / h
-	ctx := m.Cfg.Ctx
 	scale := float32(1 / math.Sqrt(float64(dh)))
 	t := s.pos
+
+	// Land position t on its page, allocating or copy-on-writing as needed.
+	// A shared page (refs > 1) is immutable: copy the filled prefix into a
+	// private page before scattering this position's k/v into it.
+	pg, u := t/PageTokens, t%PageTokens
+	if pg == len(s.pages) {
+		s.pages = append(s.pages, newKVPage(m))
+	} else if s.pages[pg].refs.Load() > 1 {
+		fresh := s.pages[pg].copyPrefix(m, u)
+		s.pages[pg].release()
+		s.pages[pg] = fresh
+	}
+	page := s.pages[pg]
 
 	x := s.x
 	copy(x, m.tok.W[tok*d:(tok+1)*d])
@@ -95,32 +105,51 @@ func (s *Session) Append(tok int) error {
 		// Project q/k/v in one fused pass over the layer-norm row.
 		vecLinear3(q, k, v, ln, ly.wq.W, ly.wk.W, ly.wv.W, ly.bq.W, ly.bk.W, ly.bv.W, d, d)
 
-		// Scatter this position's k/v into the head-major cache.
-		kc, vc := s.kc[l], s.vc[l]
+		// Scatter this position's k/v into its page, head-major.
+		kp, vp := page.k[l], page.v[l]
 		for hd := 0; hd < h; hd++ {
-			dst := (hd*ctx + t) * dh
-			copy(kc[dst:dst+dh], k[hd*dh:(hd+1)*dh])
-			copy(vc[dst:dst+dh], v[hd*dh:(hd+1)*dh])
+			dst := (hd*PageTokens + u) * dh
+			copy(kp[dst:dst+dh], k[hd*dh:(hd+1)*dh])
+			copy(vp[dst:dst+dh], v[hd*dh:(hd+1)*dh])
 		}
 
-		// Attend over the cache (positions 0..t); per head, the cached
-		// history is one contiguous block.
+		// Attend over the cache (positions 0..t); per head, the history is
+		// walked page by page in position order, so the score row (and the
+		// softmax and value accumulation after it) sees the exact FP sequence
+		// of the old contiguous layout.
 		for i := range attn {
 			attn[i] = 0
 		}
 		for hd := 0; hd < h; hd++ {
 			off := hd * dh
 			qh := q[off : off+dh]
-			kh := kc[hd*ctx*dh:]
-			vh := vc[hd*ctx*dh:]
+			hoff := hd * PageTokens * dh
 			p := s.p[:t+1]
-			for j := 0; j <= t; j++ {
-				p[j] = tensor.Dot(qh, kh[j*dh:j*dh+dh]) * scale
+			j := 0
+			for pi := 0; j <= t; pi++ {
+				kh := s.pages[pi].k[l][hoff:]
+				n := t + 1 - pi*PageTokens
+				if n > PageTokens {
+					n = PageTokens
+				}
+				for w := 0; w < n; w++ {
+					p[j] = tensor.Dot(qh, kh[w*dh:w*dh+dh]) * scale
+					j++
+				}
 			}
 			tensor.SoftmaxRow(p)
 			out := attn[off : off+dh]
-			for j := 0; j <= t; j++ {
-				tensor.Axpy(out, p[j], vh[j*dh:j*dh+dh])
+			j = 0
+			for pi := 0; j <= t; pi++ {
+				vh := s.pages[pi].v[l][hoff:]
+				n := t + 1 - pi*PageTokens
+				if n > PageTokens {
+					n = PageTokens
+				}
+				for w := 0; w < n; w++ {
+					tensor.Axpy(out, p[j], vh[w*dh:w*dh+dh])
+					j++
+				}
 			}
 		}
 
@@ -161,32 +190,41 @@ func (s *Session) Logits() []float32 {
 }
 
 // Clone returns an independent copy of the session: same consumed prefix,
-// same pending logits, separate KV cache. Used by beam-search decoding,
-// where beams share a prefix and then diverge. Only the filled pos rows of
-// each head's cache block are copied; the rest of the fresh buffers is
-// zero and never read before being overwritten by Append.
+// same pending logits, its own view of the KV cache. Used by beam-search
+// decoding (beams share a prefix and then diverge) and by the prefix cache
+// to hand a frozen snapshot to a new request. No KV floats are copied here —
+// the clone shares the pages by reference and Append copy-on-writes the
+// shared partial page when either side next advances, so a clone costs
+// O(pages) pointer work plus one logits row.
 func (s *Session) Clone() *Session {
-	m := s.m
-	c := &Session{m: m, pos: s.pos, logits: append([]float32(nil), s.logits...)}
-	d := m.Cfg.Dim
-	dh := d / m.Cfg.Heads
-	ctx := m.Cfg.Ctx
-	c.kc = make([][]float32, len(s.kc))
-	c.vc = make([][]float32, len(s.vc))
-	n := s.pos * dh
-	for l := range s.kc {
-		c.kc[l] = make([]float32, ctx*d)
-		c.vc[l] = make([]float32, ctx*d)
-		for hd := 0; hd < m.Cfg.Heads; hd++ {
-			base := hd * ctx * dh
-			copy(c.kc[l][base:base+n], s.kc[l][base:base+n])
-			copy(c.vc[l][base:base+n], s.vc[l][base:base+n])
-		}
+	c := &Session{m: s.m, pos: s.pos, logits: append([]float32(nil), s.logits...)}
+	c.pages = append([]*kvPage(nil), s.pages...)
+	for _, p := range c.pages {
+		p.retain()
 	}
 	// Fresh scratch: the buffers hold no state between Appends, but sharing
 	// them would race when clones decode concurrently.
 	c.initScratch()
 	return c
+}
+
+// Release drops the session's references to its KV pages so pages it shared
+// (with clones or the prefix cache) stop counting it toward copy-on-write.
+// The session must not be used afterwards. Release is optional: a session
+// collected without it merely leaves its refs behind, which can only cause
+// a spurious page copy elsewhere, never corruption.
+func (s *Session) Release() {
+	for _, p := range s.pages {
+		p.release()
+	}
+	s.pages = nil
+}
+
+// KVBytes reports the heap bytes of KV cache reachable from this session
+// (pages × page size), counting shared pages in full. The prefix cache uses
+// this for its resident-bytes accounting.
+func (s *Session) KVBytes() int64 {
+	return int64(len(s.pages)) * pageBytes(s.m)
 }
 
 // vecLinear computes y = x·W + b for a single row x (len in), W [in, out].

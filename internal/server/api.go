@@ -34,6 +34,11 @@ type DecodeRequest struct {
 	Seed *int64 `json:"seed,omitempty"`
 	// TimeoutMs overrides the server's default per-request timeout.
 	TimeoutMs int `json:"timeout_ms,omitempty"`
+	// NoPrefixCache opts this request out of the server's cross-request
+	// prefix cache: its decode neither reuses cached transformer/solver
+	// state nor leaves snapshots behind. The response is unchanged either
+	// way (warm decodes are bit-identical); this is an isolation knob.
+	NoPrefixCache bool `json:"no_prefix_cache,omitempty"`
 }
 
 // CheckRequest is the body of POST /v1/check.

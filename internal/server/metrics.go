@@ -6,6 +6,8 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+
+	"repro/internal/prefixcache"
 )
 
 // histogram is a fixed-bucket Prometheus histogram. Buckets are cumulative
@@ -75,15 +77,17 @@ type Metrics struct {
 	lanesRetired    uint64
 	batcherRestarts uint64
 
-	queueDepth func() int // sampled at scrape time
+	queueDepth  func() int               // sampled at scrape time
+	prefixStats func() prefixcache.Stats // nil when the prefix cache is disabled
 }
 
-func newMetrics(queueDepth func() int) *Metrics {
+func newMetrics(queueDepth func() int, prefixStats func() prefixcache.Stats) *Metrics {
 	return &Metrics{
-		requests:   map[string]map[int]uint64{},
-		batchSize:  newHistogram([]float64{1, 2, 4, 8, 16, 32, 64}),
-		latency:    newHistogram([]float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}),
-		queueDepth: queueDepth,
+		requests:    map[string]map[int]uint64{},
+		batchSize:   newHistogram([]float64{1, 2, 4, 8, 16, 32, 64}),
+		latency:     newHistogram([]float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}),
+		queueDepth:  queueDepth,
+		prefixStats: prefixStats,
 	}
 }
 
@@ -170,6 +174,10 @@ type Snapshot struct {
 	PanicsRecovered uint64
 	LanesRetired    uint64
 	BatcherRestarts uint64
+
+	// Prefix is the cross-request prefix cache's counters at snapshot time;
+	// the zero value when the cache is disabled.
+	Prefix prefixcache.Stats
 }
 
 // Snapshot returns a copy of the current counter state.
@@ -202,6 +210,9 @@ func (m *Metrics) Snapshot() Snapshot {
 	}
 	if m.queueDepth != nil {
 		s.QueueDepth = m.queueDepth()
+	}
+	if m.prefixStats != nil {
+		s.Prefix = m.prefixStats()
 	}
 	return s
 }
@@ -263,6 +274,29 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintln(w, "# HELP lejitd_solver_checks_total SMT solver checks attributable to served requests.")
 	fmt.Fprintln(w, "# TYPE lejitd_solver_checks_total counter")
 	fmt.Fprintf(w, "lejitd_solver_checks_total %d\n", m.solverChecks)
+
+	if m.prefixStats != nil {
+		ps := m.prefixStats()
+		fmt.Fprintln(w, "# HELP lejitd_prefix_hits_total Decodes warm-started from the cross-request prefix cache.")
+		fmt.Fprintln(w, "# TYPE lejitd_prefix_hits_total counter")
+		fmt.Fprintf(w, "lejitd_prefix_hits_total %d\n", ps.Hits)
+
+		fmt.Fprintln(w, "# HELP lejitd_prefix_misses_total Prefix-cache lookups that found no usable snapshot.")
+		fmt.Fprintln(w, "# TYPE lejitd_prefix_misses_total counter")
+		fmt.Fprintf(w, "lejitd_prefix_misses_total %d\n", ps.Misses)
+
+		fmt.Fprintln(w, "# HELP lejitd_prefix_evictions_total Prefix-cache snapshots dropped (LRU capacity, stale rule epoch, or replacement).")
+		fmt.Fprintln(w, "# TYPE lejitd_prefix_evictions_total counter")
+		fmt.Fprintf(w, "lejitd_prefix_evictions_total %d\n", ps.Evictions)
+
+		fmt.Fprintln(w, "# HELP lejitd_prefix_cache_bytes Bytes pinned by resident prefix-cache snapshots.")
+		fmt.Fprintln(w, "# TYPE lejitd_prefix_cache_bytes gauge")
+		fmt.Fprintf(w, "lejitd_prefix_cache_bytes %d\n", ps.BytesResident)
+
+		fmt.Fprintln(w, "# HELP lejitd_prefix_cache_entries Resident prefix-cache snapshots.")
+		fmt.Fprintln(w, "# TYPE lejitd_prefix_cache_entries gauge")
+		fmt.Fprintf(w, "lejitd_prefix_cache_entries %d\n", ps.Entries)
+	}
 
 	fmt.Fprintln(w, "# HELP lejitd_budget_exhausted_total Requests whose solver budget or deadline ran out mid-decode (HTTP 503).")
 	fmt.Fprintln(w, "# TYPE lejitd_budget_exhausted_total counter")

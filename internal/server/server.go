@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/prefixcache"
 	"repro/internal/rules"
 )
 
@@ -54,6 +55,12 @@ type Config struct {
 	// 200, so load balancers keep the instance) once at least this many
 	// requests have exhausted their solver budget. 0 disables degradation.
 	DegradedThreshold int
+	// PrefixCacheMB, when positive, attaches a cross-request prefix cache of
+	// that many MiB to the engine (DESIGN.md §11): decodes sharing a prompt
+	// prefix reuse frozen transformer KV state and solver witnesses across
+	// micro-batches, with LRU eviction under the byte cap. 0 disables the
+	// cache.
+	PrefixCacheMB int
 	// Logf, when set, receives serving log lines.
 	Logf func(format string, args ...any)
 }
@@ -84,11 +91,12 @@ func (c *Config) fill() {
 
 // job is one admitted decode request waiting for the batcher.
 type job struct {
-	ctx    context.Context
-	prompt rules.Record // nil → unconditional generation
-	seed   int64
-	decode core.DecodeCtxFn
-	start  time.Time
+	ctx     context.Context
+	prompt  rules.Record // nil → unconditional generation
+	seed    int64
+	decode  core.DecodeCtxFn
+	noCache bool // request opted out of the prefix cache
+	start   time.Time
 	// resp is buffered (cap 1): the batcher never blocks delivering to a
 	// handler that already gave up on its deadline.
 	resp chan jobResult
@@ -129,7 +137,16 @@ func New(cfg Config) (*Server, error) {
 		started: time.Now(),
 		stop:    make(chan struct{}),
 	}
-	s.metrics = newMetrics(func() int { return len(s.queue) })
+	// The prefix cache outlives any single micro-batch: it hangs off the
+	// engine (shared by its whole clone family), so snapshots captured in
+	// one batch warm requests in every later one.
+	var prefixStats func() prefixcache.Stats
+	if cfg.PrefixCacheMB > 0 {
+		cache := prefixcache.New(int64(cfg.PrefixCacheMB) << 20)
+		cfg.Engine.SetPrefixCache(cache)
+		prefixStats = cache.Stats
+	}
+	s.metrics = newMetrics(func() int { return len(s.queue) }, prefixStats)
 	s.mux.HandleFunc("/v1/impute", func(w http.ResponseWriter, r *http.Request) { s.handleDecode(w, r, "impute") })
 	s.mux.HandleFunc("/v1/generate", func(w http.ResponseWriter, r *http.Request) { s.handleDecode(w, r, "generate") })
 	s.mux.HandleFunc("/v1/check", s.handleCheck)
@@ -238,7 +255,7 @@ func (s *Server) runBatch(batch []*job) {
 	reqs := make([]core.BatchRequest, len(batch))
 	for i, j := range batch {
 		seed := j.seed
-		reqs[i] = core.BatchRequest{Prompt: j.prompt, Ctx: j.ctx, Seed: &seed, Decode: j.decode}
+		reqs[i] = core.BatchRequest{Prompt: j.prompt, Ctx: j.ctx, Seed: &seed, Decode: j.decode, NoPrefixCache: j.noCache}
 	}
 	out, err := s.cfg.Engine.DecodeRequests(context.Background(), reqs, s.cfg.Workers, 0, nil)
 	if err != nil {
@@ -334,12 +351,13 @@ func (s *Server) serveDecode(w http.ResponseWriter, r *http.Request, route strin
 		seed = *req.Seed
 	}
 	j := &job{
-		ctx:    ctx,
-		prompt: req.Known,
-		seed:   seed,
-		decode: decode,
-		start:  time.Now(),
-		resp:   make(chan jobResult, 1),
+		ctx:     ctx,
+		prompt:  req.Known,
+		seed:    seed,
+		decode:  decode,
+		noCache: req.NoPrefixCache,
+		start:   time.Now(),
+		resp:    make(chan jobResult, 1),
 	}
 	// Bounded admission: never block the handler on a full queue.
 	select {
