@@ -5,7 +5,7 @@ GO ?= go
 #   make bench-serve BENCH_OUT=BENCH_3.json
 BENCH_OUT ?= bench.json
 
-.PHONY: all tier1 verify bench perf bench-serve fmt clean
+.PHONY: all tier1 verify bench perf bench-serve bench-spec fmt clean
 
 all: verify
 
@@ -21,7 +21,7 @@ verify: tier1
 	$(GO) vet ./...
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
-	$(GO) test -race ./internal/core/... ./internal/smt/... ./internal/server/... ./internal/prefixcache/...
+	$(GO) test -race ./internal/core/... ./internal/smt/... ./internal/nn/... ./internal/server/... ./internal/prefixcache/...
 
 # Kernel microbenchmarks (vs seed-copy references) plus the perf figure,
 # which writes the machine-readable report.
@@ -38,6 +38,12 @@ perf:
 # warm-vs-cold prefix-cache comparison (BENCH_5.json).
 bench-serve:
 	$(GO) run ./cmd/lejit-bench -scale tiny -fig serve -json $(BENCH_OUT)
+
+# Speculative-decoding sweep (BENCH_6.json in the committed tree): lookahead
+# 0 sweeps k in {0,2,4,8,16}; setting SPEC_LOOKAHEAD=k compares {0,k} only.
+SPEC_LOOKAHEAD ?= 0
+bench-spec:
+	$(GO) run ./cmd/lejit-bench -scale tiny -fig spec -json $(BENCH_OUT) -lookahead $(SPEC_LOOKAHEAD)
 
 fmt:
 	gofmt -w .

@@ -31,7 +31,7 @@ func main() {
 
 func run() error {
 	scale := flag.String("scale", "default", "default|tiny")
-	figs := flag.String("fig", "all", "comma-separated: 3l,3r,4l,4r,5,abl,perf,serve (all = every figure except serve)")
+	figs := flag.String("fig", "all", "comma-separated: 3l,3r,4l,4r,5,abl,perf,serve,spec (all = every figure except serve and spec)")
 	testN := flag.Int("testn", 0, "override test-record count")
 	sampleN := flag.Int("samplen", 0, "override synthesis sample count")
 	racks := flag.Int("racks", 0, "override total rack count")
@@ -41,6 +41,7 @@ func run() error {
 	seed := flag.Int64("seed", 0, "override seed")
 	workers := flag.Int("workers", 0, "decode workers for batched methods (0 = GOMAXPROCS)")
 	jsonOut := flag.String("json", "", "write the perf report to this file (e.g. BENCH_1.json)")
+	lookahead := flag.Int("lookahead", 0, "speculative window for -fig spec: 0 sweeps {0,2,4,8,16}, k>0 compares {0,k}")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	quiet := flag.Bool("q", false, "suppress progress logs")
@@ -158,7 +159,7 @@ func run() error {
 		}
 		fmt.Println(experiments.AblationTable("Ablation: decoding strategy (sampling vs greedy vs beam)", db).Render())
 	}
-	if all || want["perf"] || (*jsonOut != "" && !want["serve"]) {
+	if all || want["perf"] || (*jsonOut != "" && !want["serve"] && !want["spec"]) {
 		rep, err := experiments.RunPerf(env, nil)
 		if err != nil {
 			return err
@@ -172,6 +173,29 @@ func run() error {
 				return err
 			}
 			fmt.Printf("# perf report written to %s\n", *jsonOut)
+		}
+	}
+	// The speculative-decoding sweep re-decodes the test set once per
+	// lookahead setting, so it only runs when asked for explicitly — it is
+	// not part of "all".
+	if want["spec"] {
+		var ks []int
+		if *lookahead > 0 {
+			ks = []int{0, *lookahead}
+		}
+		rep, err := experiments.RunSpecBench(env, ks)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.SpecTable(rep).Render())
+		if !rep.MatchesExact {
+			return fmt.Errorf("speculative decode diverged from the exact path (see table)")
+		}
+		if *jsonOut != "" {
+			if err := rep.WriteJSON(*jsonOut); err != nil {
+				return err
+			}
+			fmt.Printf("# spec report written to %s\n", *jsonOut)
 		}
 	}
 	// The serving load test spins up a real lejitd instance, so it only

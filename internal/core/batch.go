@@ -45,6 +45,10 @@ type BatchRequest struct {
 	// exists for isolation — e.g. keeping a tenant's prompts out of shared
 	// cache state — and for cold-path measurement.
 	NoPrefixCache bool
+	// Lookahead, when non-nil, overrides the engine's speculative-decoding
+	// window (Config.Lookahead) for this record; 0 forces the exact path.
+	// Output is bit-identical for every value (DESIGN.md §13).
+	Lookahead *int
 }
 
 // prefixCacheOffKey marks a context whose decodes must skip the prefix
@@ -62,6 +66,25 @@ func DisablePrefixCache(ctx context.Context) context.Context {
 func prefixCacheDisabled(ctx context.Context) bool {
 	off, _ := ctx.Value(prefixCacheOffKey{}).(bool)
 	return off
+}
+
+// lookaheadKey carries a per-request speculation-window override.
+type lookaheadKey struct{}
+
+// WithLookahead returns a context under which guided decodes use a
+// speculation window of k tokens instead of the engine's Config.Lookahead
+// (0 forces the exact path). The serving layer uses it for per-request
+// overrides; callers invoking ImputeCtx/GenerateCtx directly can too.
+func WithLookahead(ctx context.Context, k int) context.Context {
+	return context.WithValue(ctx, lookaheadKey{}, k)
+}
+
+// lookaheadFor resolves the effective speculation window for a decode.
+func lookaheadFor(ctx context.Context, def int) int {
+	if k, ok := ctx.Value(lookaheadKey{}).(int); ok {
+		return k
+	}
+	return def
 }
 
 // BatchResult pairs one prompt's decode outcome with its index.
@@ -239,6 +262,9 @@ func (e *Engine) runRequest(ctx context.Context, reqs []BatchRequest, i int, see
 	}
 	if reqs[i].NoPrefixCache {
 		rctx = DisablePrefixCache(rctx)
+	}
+	if reqs[i].Lookahead != nil {
+		rctx = WithLookahead(rctx, *reqs[i].Lookahead)
 	}
 	s := batchSeed(seed, i)
 	if reqs[i].Seed != nil {

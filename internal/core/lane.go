@@ -65,6 +65,18 @@ type laneDecoder struct {
 	sepID      int
 	sampled    bool // whether the last token from next was sampled (vs prompt)
 	allowed    []int
+
+	// Speculative decoding (spec.go, DESIGN.md §13). spec is non-nil only
+	// when a driver installed a rewind hook and the effective lookahead is
+	// positive; draw is the lane's sampling RNG surface — rng itself on the
+	// exact path, the replaying specRNG when speculating.
+	spec *laneSpec
+	draw floatSource
+	// mergeO carries the violated run's validation replica from a rollback
+	// to the re-decide's beginSlot: interval knowledge proven at mergeMark's
+	// stack that the fresh oracle may start from (see rollbackTo).
+	mergeO    *slotOracle
+	mergeMark int
 }
 
 // promptPlan is a prompt rendered and tokenized once. The lock-step
@@ -103,7 +115,7 @@ func (e *Engine) newLaneDecoderPlan(ctx context.Context, known rules.Record, rng
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	ld := &laneDecoder{e: e, ctx: ctx, rng: rng, known: known}
+	ld := &laneDecoder{e: e, ctx: ctx, rng: rng, draw: rng, known: known}
 	if plan == nil {
 		plan = e.planPrompt(known)
 	}
@@ -214,6 +226,14 @@ func (ld *laneDecoder) finish() {
 		ld.warm.Sess.Release()
 		ld.warm = nil
 	}
+	if ld.spec != nil {
+		// Captures still staged belong to a window that never validated
+		// (the lane failed mid-window); its journaled asserts sit above the
+		// lane's Push frame, so the Pop below discards them.
+		dropCaps(ld.spec.caps)
+		ld.spec.caps = ld.spec.caps[:0]
+		ld.spec.open = false
+	}
 	ld.res.Stats.SolverChecks = ld.e.solver.Stats().Checks - ld.checksBefore
 	if ld.pushed {
 		ld.e.solver.Pop()
@@ -230,7 +250,30 @@ func (ld *laneDecoder) finish() {
 // has drained (BOS always precedes the first sampled token, so the first
 // call may pass nil). The caller must feed the token to the LM and then call
 // advance with it.
+//
+// With speculation armed, a step error inside an open window first settles
+// the window: if the committed prefix is exact the error is real and
+// propagates; if a rollback erased the erroring position, the loop retries
+// it on the exact path — the rollback restored the LM's logits buffer in
+// place, so the caller's logits slice already shows the retried position.
 func (ld *laneDecoder) next(logits []float32) (int, error) {
+	for {
+		tok, err := ld.step(logits)
+		if err == nil {
+			return tok, nil
+		}
+		if sp := ld.spec; sp == nil || !sp.open {
+			return 0, err
+		}
+		rolledBack, rerr := ld.resolveWindow(err)
+		if !rolledBack {
+			return 0, rerr
+		}
+	}
+}
+
+// step decides one token (see next, its driver-facing wrapper).
+func (ld *laneDecoder) step(logits []float32) (int, error) {
 	if ld.finished {
 		return 0, fmt.Errorf("core: laneDecoder.next after finish")
 	}
@@ -241,6 +284,21 @@ func (ld *laneDecoder) next(logits []float32) (int, error) {
 		return tok, nil
 	}
 	e := ld.e
+	// Every call past the prompt samples, so each one is a speculative
+	// position: checkpoint it (opening a window if none is open) — unless a
+	// rollback just landed here, in which case this position re-decides on
+	// the exact path.
+	if sp := ld.spec; sp != nil {
+		if sp.exactNext {
+			sp.exactNext = false
+		} else if sp.warm > 0 {
+			sp.warm--
+		} else if sp.cool > 0 {
+			sp.cool--
+		} else {
+			ld.specCheckpoint(logits)
+		}
+	}
 	if !ld.inSlot {
 		if err := ld.beginSlot(); err != nil {
 			return 0, err
@@ -263,7 +321,7 @@ func (ld *laneDecoder) next(logits []float32) (int, error) {
 	digits, canEnd := ld.sys.Admissible(ld.state)
 	if ld.oracle != nil {
 		if err := ld.oracle.budgetErr(); err != nil {
-			return 0, fmt.Errorf("core: solver gave up during lookahead for %s[%d]: %w", slot.Field, slot.Index, err)
+			return 0, lookaheadGaveUp(slot, err)
 		}
 	}
 	ld.allowed = ld.allowed[:0]
@@ -296,7 +354,7 @@ func (ld *laneDecoder) next(logits []float32) (int, error) {
 			ld.res.Stats.ForcedSteps++
 		}
 	}
-	tok := e.sampleMasked(logits, ld.allowed, ld.rng)
+	tok := e.sampleMasked(logits, ld.allowed, ld.draw)
 	if e.cfg.TraceHook != nil {
 		e.cfg.TraceHook(TraceStep{
 			Field: slot.Field, Index: slot.Index, Prefix: ld.state.String(),
@@ -326,6 +384,19 @@ func (ld *laneDecoder) beginSlot() error {
 		// drain a candidate's whole completion union locally before any
 		// solver work.
 		ld.oracle = e.newSlotOracle(e.slotVar(slot), &ld.res.Stats)
+		ld.oracle.spec = ld.spec
+		if ld.mergeO != nil {
+			// A rollback stashed the violated run's validation replica: its
+			// witnesses and envelope tightenings were proven at exactly this
+			// variable and assertion stack, so the re-decide starts with
+			// everything suffix validation already paid for — including the
+			// refutation that forced the rollback, when the envelope can
+			// express it.
+			if ld.mergeO.v == ld.oracle.v && e.solver.AssertionMark() == ld.mergeMark {
+				mergeOracle(ld.oracle, ld.mergeO)
+			}
+			ld.mergeO = nil
+		}
 		ld.sys = transition.NewBatch(e.maxDigits[slot.Field], ld.oracle.Feasible, ld.oracle.FeasibleAny)
 	}
 	if !ld.sys.HasPath() {
@@ -333,7 +404,7 @@ func (ld *laneDecoder) beginSlot() error {
 		// the lane's failure, not as a (false) proof of infeasibility.
 		if ld.oracle != nil {
 			if err := ld.oracle.budgetErr(); err != nil {
-				return fmt.Errorf("core: solver gave up during lookahead for %s[%d]: %w", slot.Field, slot.Index, err)
+				return lookaheadGaveUp(slot, err)
 			}
 		}
 		return ErrInfeasible{Detail: fmt.Sprintf("no feasible value for %s[%d]", slot.Field, slot.Index)}
@@ -372,11 +443,24 @@ func (ld *laneDecoder) advance(tok int) error {
 			v := ld.state.Value()
 			ld.vals = append(ld.vals, v)
 			slot := e.cfg.Slots[ld.slot]
-			e.solver.Assert(smt.Eq(smt.V(e.slotVar(slot)), smt.C(v)))
-			// If the last model already assigned the pinned value, it remains
-			// a model of the extended stack: revalidate it for the new epoch
-			// so the next slot starts with a witness.
-			if e.lastModel != nil && e.lastModel[e.slotVar(slot)] == v {
+			f := smt.Eq(smt.V(e.slotVar(slot)), smt.C(v))
+			wasValid := e.lastModel != nil && e.lastModelEpoch == e.solver.Epoch()
+			e.solver.Assert(f)
+			if sp := ld.spec; sp != nil && sp.open {
+				// Journaled so suffix validation can rebuild any probe-time
+				// stack; the assert itself lands as usual, above the
+				// window's base mark.
+				sp.asserts = append(sp.asserts, f)
+			}
+			// Carry the witness model across the assert when possible: if it
+			// already assigned the pinned value it remains a model of the
+			// extended stack as-is; otherwise try patching it to the value
+			// (shifting the residual of at most one coupling conjunct, see
+			// patchValue). Keeping the model alive here is what keeps the
+			// patch fast path productive for the following slots — during an
+			// open speculation window there are no solver probes to refresh
+			// it, so this repair is the only witness source until the settle.
+			if wasValid && (e.lastModel[e.slotVar(slot)] == v || e.patchValue(e.slotVar(slot), v)) {
 				e.lastModelEpoch = e.solver.Epoch()
 			}
 			ld.inSlot = false
@@ -386,8 +470,10 @@ func (ld *laneDecoder) advance(tok int) error {
 			if err != nil {
 				return fmt.Errorf("core: stepping transition system: %w", err)
 			}
+			// Digits fall through: boundary is false for them and completion
+			// is false while inSlot, so only the window-full check below can
+			// act — exactly what a full window mid-value needs.
 			ld.state = st
-			return nil
 		}
 	}
 	if boundary {
@@ -395,11 +481,33 @@ func (ld *laneDecoder) advance(tok int) error {
 		// value and a restored one re-arms the next slot's oracle.
 		ld.maybeCapture()
 	}
-	if len(ld.pending) == 0 && !ld.inSlot && ld.slot >= len(e.cfg.Slots) {
+	if sp := ld.spec; sp != nil && sp.open && ld.sampled {
+		if ld.complete() || len(sp.cps) >= sp.curK {
+			// Window full or record complete: settle it. On rollback the
+			// restored state fails the completion re-check below and the
+			// driver's next call retries the rolled-back position (its
+			// logits buffer was restored in place).
+			if _, err := ld.resolveWindow(nil); err != nil {
+				return err
+			}
+		}
+	}
+	if ld.complete() {
 		ld.res.Rec = e.assemble(ld.known, ld.fromSlot, ld.vals)
 		ld.finish()
 	}
 	return nil
+}
+
+// complete reports whether every slot has been decoded.
+func (ld *laneDecoder) complete() bool {
+	return len(ld.pending) == 0 && !ld.inSlot && ld.slot >= len(ld.e.cfg.Slots)
+}
+
+// lookaheadGaveUp wraps the sticky budget/cancellation error a slot oracle
+// recorded, naming the slot whose lookahead the solver abandoned.
+func lookaheadGaveUp(slot Slot, err error) error {
+	return fmt.Errorf("core: solver gave up during lookahead for %s[%d]: %w", slot.Field, slot.Index, err)
 }
 
 // maxGenCaptures bounds how many sampled-region boundaries one lane may
@@ -442,10 +550,21 @@ func (ld *laneDecoder) maybeCapture() {
 		}
 	}
 	key := append([]int(nil), ld.key...)
-	ok := cache.Insert(key, &prefixcache.Snapshot{
+	snap := &prefixcache.Snapshot{
 		Sess: sess, Model: model, RuleEpoch: e.fingerprint, Slots: ld.keySlots,
-	})
-	if ok {
+	}
+	if sp := ld.spec; sp != nil && sp.open {
+		// Mid-window boundaries stage their snapshots instead of publishing
+		// them: other requests must never warm-start from a prefix that has
+		// not validated. genCaps advances now so the cap applies within the
+		// window; a rollback restores it from the checkpoint.
+		sp.caps = append(sp.caps, specCapture{key: key, snap: snap, gen: gen})
+		if gen {
+			ld.genCaps++
+		}
+		return
+	}
+	if cache.Insert(key, snap) {
 		ld.res.Stats.PrefixCaptures++
 		if gen {
 			ld.genCaps++

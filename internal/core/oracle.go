@@ -47,7 +47,16 @@ type slotOracle struct {
 	wLo, wHi int64   // extreme witnessed-feasible values
 	wvals    []int64 // individual witnesses (tainted slots only)
 
+	// spec, when non-nil with an open window, redirects probes the fast
+	// path cannot decide into the lane's speculation journal instead of the
+	// solver: the probe is answered true optimistically and settled by the
+	// window's batched suffix validation (spec.go, DESIGN.md §13).
+	// Optimistic answers never feed the interval state — addWitness and
+	// noteUnsat accept only certificates.
+	spec *laneSpec
+
 	undecided [][2]int64 // FeasibleAny scratch
+	one       [1][2]int64
 }
 
 // newSlotOracle builds the oracle for slot variable v at the current epoch.
@@ -213,24 +222,44 @@ func (o *slotOracle) patchFeasible(lo, hi int64) bool {
 	return false
 }
 
-// tryPatch attempts M[v] = x: evaluates every rule conjunct mentioning v
-// under the patched model, keeping the patch on success and rolling it back
-// on any failure (including an evaluation error, which would mean the model
-// is not complete over the conjunct's variables — treated as "cannot
-// certify", never as feasible).
+// tryPatch attempts M[v] = x via the engine-level patch, recording the
+// witness on success.
 func (o *slotOracle) tryPatch(x int64) bool {
-	e := o.e
-	old := e.lastModel[o.v]
-	if x == old {
-		// lastModel already satisfies the stack with this value.
+	if o.e.patchValue(o.v, x) {
 		o.addWitness(x)
 		return true
 	}
-	e.lastModel[o.v] = x
+	return false
+}
+
+// patchValue attempts to keep lastModel a full model under M[v] = x.
+// Callers must ensure lastModel is valid for the current stack minus any
+// constraint on v itself (the oracle fast path and the separator-assert
+// repair in advance() both do).
+func (e *Engine) patchValue(v smt.Var, x int64) bool {
+	return e.patchModel(e.lastModel, v, x)
+}
+
+// patchModel attempts to keep m a full model of the current stack under
+// M[v] = x: it evaluates every rule conjunct mentioning v under the patched
+// model, keeping the patch on success and rolling it back on any failure
+// (including an evaluation error, which would mean the model is not
+// complete over the conjunct's variables — treated as "cannot certify",
+// never as feasible). m must be a model of the current stack minus any
+// constraint on v itself — speculative suffix validation runs this against
+// a scratch copy of the window's settle model at a replayed probe-time
+// stack, where that holds because the stack is a prefix of the settled one.
+func (e *Engine) patchModel(m map[smt.Var]int64, v smt.Var, x int64) bool {
+	old := m[v]
+	if x == old {
+		// m already satisfies the stack with this value.
+		return true
+	}
+	m[v] = x
 	var broken smt.Formula
 	ok := true
-	for _, c := range e.conjunctsOn(o.v) {
-		sat, err := smt.EvalFormula(c, e.lastModel)
+	for _, c := range e.conjunctsOn(v) {
+		sat, err := smt.EvalFormula(c, m)
 		if err != nil {
 			ok, broken = false, nil
 			break
@@ -245,55 +274,59 @@ func (o *slotOracle) tryPatch(x int64) bool {
 			ok, broken = false, c
 		}
 	}
-	if ok || (broken != nil && o.repair(broken)) {
-		o.addWitness(x)
+	if ok || (broken != nil && e.repairConjunct(m, broken, v)) {
 		return true
 	}
-	e.lastModel[o.v] = old
+	m[v] = old
 	return false
 }
 
-// repair restores a single broken linear-equality conjunct — typically a
+// repairConjunct restores a single broken atomic conjunct — typically a
 // coupling constraint like TotalIngress = sum(I) — by shifting the patch's
 // residual onto one other adjustable variable in the same atom, then
-// re-validating every conjunct that variable appears in. A variable is
-// adjustable when its propagated base bounds leave slack (pinned and
-// propagation-fixed variables have lo == hi and are skipped), which also
-// keeps the shifted value inside its declared domain. On success the model
-// differs from a known-satisfying one in exactly {v, u}, and every conjunct
-// mentioning either has been re-evaluated true: the patched model is again
-// a full model.
-func (o *slotOracle) repair(broken smt.Formula) bool {
-	e := o.e
+// re-validating every conjunct that variable appears in. The shift is the
+// minimal integer move of that variable that satisfies the atom again: an
+// exact cancellation for an equality, the nearest boundary crossing for an
+// inequality or disequality. A variable is adjustable when its propagated
+// base bounds leave slack (pinned and propagation-fixed variables have
+// lo == hi and are skipped), which also keeps the shifted value inside its
+// declared domain. On success the model differs from a known-satisfying one
+// in exactly {v, u}, and every conjunct mentioning either has been
+// re-evaluated true: the patched model is again a full model.
+func (e *Engine) repairConjunct(m map[smt.Var]int64, broken smt.Formula, v smt.Var) bool {
 	a, isAtom := smt.AtomOf(broken)
-	if !isAtom || a.Op != smt.OpEQ {
+	if !isAtom {
 		return false
 	}
-	resid, err := a.Expr.Eval(e.lastModel)
-	if err != nil || resid == 0 {
+	resid, err := a.Expr.Eval(m)
+	if err != nil {
 		return false
 	}
 	for _, u := range a.Expr.Vars() {
-		if u == o.v {
+		if u == v {
 			continue
 		}
 		cu := a.Expr.Coef(u)
-		if cu == 0 || resid%cu != 0 {
+		if cu == 0 {
+			continue
+		}
+		d, ok := repairShift(a.Op, resid, cu)
+		if !ok {
 			continue
 		}
 		lo, hi, okB := e.solver.BaseBounds(u)
 		if !okB || lo == hi {
 			continue
 		}
-		oldU := e.lastModel[u]
-		newU := oldU - resid/cu
+		oldU := m[u]
+		newU := oldU + d
 		if newU < lo || newU > hi {
 			continue
 		}
-		e.lastModel[u] = newU
+		m[u] = newU
 		good := true
 		for _, c := range e.conjunctsOn(u) {
-			sat, err := smt.EvalFormula(c, e.lastModel)
+			sat, err := smt.EvalFormula(c, m)
 			if err != nil || !sat {
 				good = false
 				break
@@ -302,9 +335,68 @@ func (o *slotOracle) repair(broken smt.Formula) bool {
 		if good {
 			return true
 		}
-		e.lastModel[u] = oldU
+		m[u] = oldU
 	}
 	return false
+}
+
+// repairShift computes the minimal integer move d of a variable with
+// coefficient cu that makes resid + cu·d satisfy "OP 0" (atoms are
+// normalized to Expr OP 0). ok is false when no move helps (zero residual
+// on an equality that is somehow still broken cannot happen; a
+// non-divisible equality residual can).
+func repairShift(op smt.AtomOp, resid, cu int64) (d int64, ok bool) {
+	switch op {
+	case smt.OpEQ:
+		if resid%cu != 0 {
+			return 0, false
+		}
+		return -resid / cu, true
+	case smt.OpNE:
+		// Broken means resid == 0: any single step off zero works.
+		return 1, true
+	case smt.OpLE:
+		return shiftAtMost(resid, cu, 0), true
+	case smt.OpLT:
+		return shiftAtMost(resid, cu, -1), true
+	case smt.OpGE:
+		return shiftAtLeast(resid, cu, 0), true
+	case smt.OpGT:
+		return shiftAtLeast(resid, cu, 1), true
+	}
+	return 0, false
+}
+
+// shiftAtMost returns the smallest-magnitude d with resid + cu·d ≤ bound.
+func shiftAtMost(resid, cu, bound int64) int64 {
+	if cu > 0 {
+		return floorDiv(bound-resid, cu)
+	}
+	return ceilDiv(bound-resid, cu)
+}
+
+// shiftAtLeast returns the smallest-magnitude d with resid + cu·d ≥ bound.
+func shiftAtLeast(resid, cu, bound int64) int64 {
+	if cu > 0 {
+		return ceilDiv(bound-resid, cu)
+	}
+	return floorDiv(bound-resid, cu)
+}
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+func ceilDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) == (b < 0) {
+		q++
+	}
+	return q
 }
 
 // crossCheck verifies a fast-path answer against the solver (the
@@ -339,6 +431,11 @@ func (o *slotOracle) Feasible(lo, hi int64) bool {
 			}
 			return true
 		}
+	}
+	if sp := o.spec; sp != nil && sp.open {
+		o.one[0] = [2]int64{lo, hi}
+		sp.deferProbe(o.v, o.one[:])
+		return true
 	}
 	return o.probe(lo, hi)
 }
@@ -377,7 +474,7 @@ func (o *slotOracle) FeasibleAny(ranges [][2]int64) bool {
 		}
 	}
 	o.undecided = und
-	for _, r := range und {
+	for j, r := range und {
 		o.st.OracleQueries++
 		// Earlier probes in this loop may have refined the state.
 		if d := o.answerLocal(r[0], r[1]); d != 0 {
@@ -392,6 +489,14 @@ func (o *slotOracle) FeasibleAny(ranges [][2]int64) bool {
 			if o.e.cfg.ValidateFastPath {
 				o.crossCheck(r[0], r[1], true)
 			}
+			return true
+		}
+		if sp := o.spec; sp != nil && sp.open {
+			// Defer the whole undecided remainder as one disjunctive probe:
+			// its exact answer is precisely this loop's residual answer
+			// (every earlier range was proven infeasible), so validation
+			// decides the batch query itself, not a single range of it.
+			sp.deferProbe(o.v, und[j:])
 			return true
 		}
 		if o.probe(r[0], r[1]) {

@@ -1,0 +1,357 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/rules"
+	"repro/internal/vocab"
+)
+
+// These tests exercise speculative constrained decoding (spec.go, DESIGN.md
+// §13). The contract under test is bit-exactness: for every lookahead k the
+// decoded record and the sampled-token count equal the exact (k=0) path's,
+// on both the solo guided path and the lock-step scheduler. Mechanism stats
+// (fast-path hits, probe counts, solver checks) are allowed to differ — the
+// two paths do different solver work by design — so comparisons stick to
+// Rec and Stats.Tokens.
+
+// specLookahead decodes known on a fresh clone of e with a per-request
+// lookahead of k (0 = exact path) and the given seed.
+func specLookahead(tb testing.TB, e *Engine, known rules.Record, seed int64, k int) (Result, error) {
+	tb.Helper()
+	eng, err := e.Clone()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ctx := WithLookahead(context.Background(), k)
+	rng := rand.New(rand.NewSource(seed))
+	if known == nil {
+		return eng.GenerateCtx(ctx, rng)
+	}
+	return eng.ImputeCtx(ctx, known, rng)
+}
+
+// checkSpecMatch asserts a speculative outcome equals the exact one.
+func checkSpecMatch(t *testing.T, label string, exact, spec Result, eerr, serr error) {
+	t.Helper()
+	if (eerr != nil) != (serr != nil) {
+		t.Fatalf("%s: exact err %v, speculative err %v", label, eerr, serr)
+	}
+	if eerr != nil {
+		return
+	}
+	if !reflect.DeepEqual(exact.Rec, spec.Rec) {
+		t.Errorf("%s: speculative record %v != exact %v", label, spec.Rec, exact.Rec)
+	}
+	if exact.Stats.Tokens != spec.Stats.Tokens {
+		t.Errorf("%s: speculative sampled %d tokens, exact %d", label, spec.Stats.Tokens, exact.Stats.Tokens)
+	}
+}
+
+// TestSpeculativeGoldenSolo: for a spread of prompts, seeds, and window
+// sizes, the solo guided path under speculation reproduces the exact path's
+// record bit for bit — and the windows actually open (accepted tokens are
+// counted), so the equality is not vacuous.
+func TestSpeculativeGoldenSolo(t *testing.T) {
+	e := nnTestEngine(t)
+	prompts := []rules.Record{
+		{"TotalIngress": {120}, "Congestion": {10}},
+		{"TotalIngress": {60}, "Congestion": {0}},
+		{"TotalIngress": {299}, "Congestion": {77}},
+		nil, // unconditional generation
+	}
+	accepted := 0
+	for pi, p := range prompts {
+		for _, seed := range []int64{1, 7, 42} {
+			exact, eerr := specLookahead(t, e, p, seed, 0)
+			if exact.Stats.SpecAcceptedTokens != 0 || exact.Stats.SpecRollbacks != 0 {
+				t.Fatalf("k=0 run counted speculation: %+v", exact.Stats)
+			}
+			for _, k := range []int{1, 2, 4, 8, 16} {
+				spec, serr := specLookahead(t, e, p, seed, k)
+				checkSpecMatch(t, fmt.Sprintf("prompt %d seed %d k=%d", pi, seed, k), exact, spec, eerr, serr)
+				accepted += spec.Stats.SpecAcceptedTokens
+			}
+		}
+	}
+	if accepted == 0 {
+		t.Fatal("no speculative window ever opened: the bit-exactness assertions were vacuous")
+	}
+}
+
+// TestSpeculativeEngineDefault: SetLookahead arms speculation engine-wide
+// (including pooled clones) without changing output, and SetLookahead(0)
+// restores the exact path.
+func TestSpeculativeEngineDefault(t *testing.T) {
+	e := nnTestEngine(t)
+	prompt := rules.Record{"TotalIngress": {150}, "Congestion": {20}}
+	exact, eerr := specLookahead(t, e, prompt, 5, 0)
+
+	eng, err := e.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.SetLookahead(8)
+	spec, serr := eng.ImputeCtx(context.Background(), prompt, rand.New(rand.NewSource(5)))
+	checkSpecMatch(t, "SetLookahead(8)", exact, spec, eerr, serr)
+	if spec.Stats.SpecAcceptedTokens == 0 {
+		t.Error("SetLookahead(8) decode accepted no speculative tokens")
+	}
+
+	eng.SetLookahead(0)
+	off, oerr := eng.ImputeCtx(context.Background(), prompt, rand.New(rand.NewSource(5)))
+	checkSpecMatch(t, "SetLookahead(0)", exact, off, eerr, oerr)
+	if off.Stats.SpecAcceptedTokens != 0 {
+		t.Error("SetLookahead(0) decode still counted speculative tokens")
+	}
+}
+
+// TestSpeculativeLockStepMatchesExact: lanes speculating privately between
+// shared AppendBatch steps produce records bit-identical to the exact solo
+// path, for homogeneous and per-request-mixed lookaheads.
+func TestSpeculativeLockStepMatchesExact(t *testing.T) {
+	e := nnTestEngine(t)
+	ks := []int{8, 0, 2, 16, 4}
+	reqs := make([]BatchRequest, 5)
+	for i := range reqs {
+		if i != 3 {
+			reqs[i].Prompt = rules.Record{"TotalIngress": {80 + 30*int64(i)}, "Congestion": {int64(5 * i)}}
+		}
+		k := ks[i]
+		reqs[i].Lookahead = &k
+	}
+	out, err := e.DecodeRequests(context.Background(), reqs, 1, 23, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := 0
+	for i := range reqs {
+		exact, eerr := specLookahead(t, e, reqs[i].Prompt, MixSeed(23, i), 0)
+		checkSpecMatch(t, fmt.Sprintf("lane %d k=%d", i, ks[i]), exact, out[i].Res, eerr, out[i].Err)
+		accepted += out[i].Res.Stats.SpecAcceptedTokens
+		if ks[i] == 0 && out[i].Res.Stats.SpecAcceptedTokens != 0 {
+			t.Errorf("lane %d: k=0 lane counted speculation", i)
+		}
+	}
+	if accepted == 0 {
+		t.Fatal("no lock-step lane ever opened a window")
+	}
+}
+
+// FuzzSpeculativeMatchesExact randomizes prompts, seeds, and window sizes
+// across both drive paths and asserts the speculative outcome always equals
+// the exact one.
+func FuzzSpeculativeMatchesExact(f *testing.F) {
+	f.Add(int64(1), uint8(2), uint8(0))
+	f.Add(int64(42), uint8(8), uint8(0xA5))
+	f.Add(int64(-7), uint8(16), uint8(0x3C))
+	f.Fuzz(func(t *testing.T, seed int64, k, mix uint8) {
+		e := nnTestEngine(t)
+		lookahead := int(k)%17 + 1
+		var prompt rules.Record
+		if mix&1 == 0 {
+			prompt = rules.Record{
+				"TotalIngress": {int64(uint(seed)) % 301},
+				"Congestion":   {int64(uint(mix)) % 101},
+			}
+		}
+		exact, eerr := specLookahead(t, e, prompt, seed, 0)
+		spec, serr := specLookahead(t, e, prompt, seed, lookahead)
+		checkSpecMatch(t, fmt.Sprintf("solo k=%d", lookahead), exact, spec, eerr, serr)
+
+		// The same record through the lock-step scheduler, alongside a
+		// batch-mate so the group is eligible. The pinned per-request seed is
+		// used raw, matching the solo decode above.
+		s := seed
+		reqs := []BatchRequest{
+			{Prompt: prompt, Seed: &s, Lookahead: &lookahead},
+			{Prompt: rules.Record{"TotalIngress": {90}, "Congestion": {3}}, Lookahead: &lookahead},
+		}
+		out, err := e.DecodeRequests(context.Background(), reqs, 1, seed, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkSpecMatch(t, fmt.Sprintf("lock-step k=%d", lookahead), exact, out[0].Res, eerr, out[0].Err)
+	})
+}
+
+// rollbackTestEngine builds an engine whose rules pin A=7, B=3 through a
+// pair of coupled equalities the interval fast path cannot decide digit by
+// digit (patching A breaks both conjuncts at once, so patchFeasible gives
+// up). Under speculation the first position of A defers probes for every
+// digit the bounds allow, making a wrong first digit — and the forced
+// separator after it, since the wrong value's canEnd probe is deferred too —
+// overwhelmingly likely, which drives a rollback across the slot boundary.
+func rollbackTestEngine(tb testing.TB, hook func(FaultSite) error, vfp bool) *Engine {
+	tb.Helper()
+	// These tests exist to exercise rollbacks; disable the head-of-record
+	// warmup so windows open immediately and violations stay reachable.
+	old := specWarmup
+	specWarmup = 0
+	tb.Cleanup(func() { specWarmup = old })
+	schema := rules.MustSchema(
+		rules.Field{Name: "A", Kind: rules.Scalar, Lo: 1, Hi: 9},
+		rules.Field{Name: "B", Kind: rules.Scalar, Lo: 1, Hi: 9},
+		rules.Field{Name: "V", Kind: rules.Vector, Len: 1, Lo: 0, Hi: 9},
+	)
+	rs, err := rules.ParseRuleSet(`
+rule r1: A + B == 10
+rule r2: A - B == 4
+`, schema)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	slots, err := TelemetryGrammar(schema, []string{"A", "B"}, "V")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	e, err := NewEngine(Config{
+		LM: WrapNN(nnTestModel(tb)), Tok: vocab.Telemetry(), Schema: schema,
+		Rules: rs, Slots: slots, Mode: LeJIT,
+		FaultHook: hook, ValidateFastPath: vfp,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return e
+}
+
+// TestSpeculationRollbackAcrossSeparator: with A pinned to 7 by cross-slot
+// coupling, a speculative window admits wrong first digits for A, force-emits
+// the slot separator after one (its canEnd probe is deferred optimistically),
+// asserts the wrong value, and enters slot B — all of which validation must
+// unwind: the rollback truncates the journaled A-assert, the appended value,
+// and the slot state, then re-decides A exactly. Every seed must come out
+// bit-identical to the exact path, and the scanned seed range must exhibit at
+// least one such across-the-separator rollback so the edge is actually hit.
+func TestSpeculationRollbackAcrossSeparator(t *testing.T) {
+	e := rollbackTestEngine(t, nil, false)
+	sepA := e.cfg.Tok.ID(e.cfg.Slots[0].Sep)
+
+	crossed := false
+	for seed := int64(0); seed < 10; seed++ {
+		var steps []TraceStep
+		e.cfg.TraceHook = func(s TraceStep) { steps = append(steps, s) }
+		spec, serr := specLookahead(t, e, nil, seed, 8)
+		e.cfg.TraceHook = nil
+		exact, eerr := specLookahead(t, e, nil, seed, 0)
+		checkSpecMatch(t, fmt.Sprintf("seed %d", seed), exact, spec, eerr, serr)
+		if serr != nil {
+			t.Fatalf("seed %d: decode failed: %v", seed, serr)
+		}
+		if got := spec.Rec["A"][0]; got != 7 {
+			t.Fatalf("seed %d: A = %d, want 7", seed, got)
+		}
+		if got := spec.Rec["B"][0]; got != 3 {
+			t.Fatalf("seed %d: B = %d, want 3", seed, got)
+		}
+
+		// An across-the-separator rollback shows in the trace as: slot A's
+		// separator chosen (completing a wrong value), followed by a later
+		// step for slot A again (the re-decide after the rollback erased the
+		// boundary crossing).
+		sepAt := -1
+		for i, s := range steps {
+			if s.Field == "A" && s.Chosen == sepA && sepAt < 0 {
+				sepAt = i
+			}
+			if sepAt >= 0 && i > sepAt && s.Field == "A" {
+				if spec.Stats.SpecRollbacks == 0 {
+					t.Fatalf("seed %d: slot A re-decided but no rollback counted", seed)
+				}
+				crossed = true
+			}
+		}
+	}
+	if !crossed {
+		t.Fatal("no seed in the scanned range rolled back across the slot separator; the edge case went unexercised")
+	}
+}
+
+// TestSpeculationMidWindowBudgetError: a solver-budget failure injected while
+// a window is open (the fault hook fires at a committed token count, which
+// rollbacks restore, so the injection point is path-independent) surfaces as
+// the same ErrBudget the exact path reports — never swallowed by the window,
+// never misreported as infeasibility.
+func TestSpeculationMidWindowBudgetError(t *testing.T) {
+	hook := func(s FaultSite) error {
+		if s.Tokens >= 2 {
+			return fmt.Errorf("injected mid-window stall: %w", ErrBudget)
+		}
+		return nil
+	}
+	for _, k := range []int{0, 8} {
+		e := rollbackTestEngine(t, hook, false)
+		_, err := specLookahead(t, e, nil, 3, k)
+		if !errors.Is(err, ErrBudget) {
+			t.Fatalf("k=%d: err %v, want ErrBudget", k, err)
+		}
+		var inf ErrInfeasible
+		if errors.As(err, &inf) {
+			t.Fatalf("k=%d: budget failure misreported as infeasibility: %v", k, err)
+		}
+	}
+}
+
+// TestSpeculationMidWindowPanicLockStep: a lane that panics mid-window fails
+// alone with a *PanicError while its speculating batch-mates still decode
+// bit-identically to the exact path.
+func TestSpeculationMidWindowPanicLockStep(t *testing.T) {
+	reqs := faultReqs(4)
+	k := 8
+	for i := range reqs {
+		reqs[i].Lookahead = &k
+	}
+	bad := reqs[2].Prompt["TotalIngress"][0]
+	e := nnFaultEngine(t, poison(bad, func() error { panic("injected mid-window panic") }))
+	clean := nnTestEngine(t)
+
+	out, err := e.DecodeRequests(context.Background(), reqs, 1, 42, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pe *PanicError
+	if !errors.As(out[2].Err, &pe) {
+		t.Fatalf("poisoned lane err %v, want *PanicError", out[2].Err)
+	}
+	for _, i := range []int{0, 1, 3} {
+		exact, eerr := specLookahead(t, clean, reqs[i].Prompt, MixSeed(42, i), 0)
+		checkSpecMatch(t, fmt.Sprintf("lane %d", i), exact, out[i].Res, eerr, out[i].Err)
+	}
+}
+
+// TestSpeculationValidateFastPath: with ValidateFastPath set, every deferred
+// probe certified by suffix validation is re-checked exactly; a single
+// mismatch would be a soundness bug. The rollback-heavy engine gives the
+// validator real work on both the certify and the refute side.
+func TestSpeculationValidateFastPath(t *testing.T) {
+	e := rollbackTestEngine(t, nil, true)
+	for seed := int64(0); seed < 5; seed++ {
+		spec, err := specLookahead(t, e, nil, seed, 8)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if spec.Stats.FastPathMismatches != 0 {
+			t.Fatalf("seed %d: %d fast-path mismatches under speculation", seed, spec.Stats.FastPathMismatches)
+		}
+	}
+	big := nnTestEngine(t)
+	vfp, err := big.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vfp.cfg.ValidateFastPath = true
+	res, derr := vfp.ImputeCtx(WithLookahead(context.Background(), 8),
+		rules.Record{"TotalIngress": {120}, "Congestion": {10}}, rand.New(rand.NewSource(1)))
+	if derr != nil {
+		t.Fatal(derr)
+	}
+	if res.Stats.FastPathMismatches != 0 {
+		t.Fatalf("%d fast-path mismatches under speculation", res.Stats.FastPathMismatches)
+	}
+}

@@ -85,11 +85,12 @@ type ServeReport struct {
 // workload. Every request pins its seed, so the warm pass must reproduce the
 // cold pass's records bit for bit (WarmMatchesCold).
 type PrefixBenchReport struct {
-	Requests int `json:"requests"`
-	Clusters int `json:"clusters"` // distinct prompts in the workload
-	CacheMB  int `json:"cache_mb"`
-	NumCPU   int `json:"num_cpu"`
-	Errors   int `json:"errors"`
+	Requests   int `json:"requests"`
+	Clusters   int `json:"clusters"` // distinct prompts in the workload
+	CacheMB    int `json:"cache_mb"`
+	NumCPU     int `json:"num_cpu"`
+	GoMaxProcs int `json:"gomaxprocs"`
+	Errors     int `json:"errors"`
 
 	Hits    uint64  `json:"hits"`   // warm measured pass
 	Misses  uint64  `json:"misses"` // warm measured pass
@@ -351,7 +352,7 @@ func runPrefixBench(env *Env, cfg ServeBenchConfig) (*PrefixBenchReport, error) 
 	}
 	rep := &PrefixBenchReport{
 		Requests: cfg.Requests, Clusters: clusters, CacheMB: cacheMB,
-		NumCPU: runtime.NumCPU(),
+		NumCPU: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0),
 		Errors: coldErrs + popErrs + warmErrs,
 		Hits:   after.Prefix.Hits - before.Prefix.Hits,
 		Misses: after.Prefix.Misses - before.Prefix.Misses,

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rules"
+)
+
+// SpecPoint is one lookahead setting of the speculative-decoding sweep.
+// Lookahead 0 is the exact per-token path and anchors the comparison: every
+// other row must reproduce its records bit for bit (DESIGN.md §13).
+type SpecPoint struct {
+	Lookahead      int     `json:"lookahead"`
+	MsPerRecord    float64 `json:"ms_per_record"`
+	ChecksPerToken float64 `json:"solver_checks_per_token"`
+	AcceptedTokens int     `json:"accepted_tokens"`
+	Rollbacks      int     `json:"rollbacks"`
+	Tokens         int     `json:"tokens"`
+	// AcceptRate is accepted speculative tokens over all decoded tokens: the
+	// fraction of the stream that was committed through a validated window
+	// instead of a per-token oracle round.
+	AcceptRate float64 `json:"accept_rate"`
+	// MatchesExact reports whether this row's decoded records equal the k=0
+	// baseline's, record for record.
+	MatchesExact bool `json:"matches_exact"`
+}
+
+// SpecReport is the speculative-decoding benchmark written as BENCH_N.json:
+// the same imputation workload decoded at each lookahead window, with the
+// k=0 exact path first as the bit-exactness baseline.
+type SpecReport struct {
+	Records int `json:"records"`
+	Rules   int `json:"rules"`
+	// NumCPU and GoMaxProcs contextualize the timings; the sweep itself is
+	// serial (one worker), so they matter for reproducing ms/record, not
+	// for scaling.
+	NumCPU     int `json:"num_cpu"`
+	GoMaxProcs int `json:"gomaxprocs"`
+	// Passes is how many times each lookahead's decode ran; ms_per_record
+	// is the fastest pass (decoding is deterministic, so repetition only
+	// removes scheduler noise from the timing).
+	Passes int         `json:"passes"`
+	Points []SpecPoint `json:"points"`
+	// MatchesExact is the conjunction over all points — the CI gate.
+	MatchesExact bool `json:"speculation_matches_exact"`
+}
+
+// RunSpecBench decodes the imputation test set once per lookahead setting
+// (nil → {0, 2, 4, 8, 16}) on a single worker and reports per-setting cost
+// and acceptance. The k=0 row always runs, and runs first: it is both the
+// checks/token baseline the sweep is judged against and the record-level
+// oracle for MatchesExact.
+func RunSpecBench(env *Env, ks []int) (*SpecReport, error) {
+	if len(ks) == 0 {
+		ks = []int{0, 2, 4, 8, 16}
+	}
+	seen := map[int]bool{}
+	sweep := []int{0} // exact baseline first, exactly once
+	seen[0] = true
+	for _, k := range ks {
+		if k >= 0 && !seen[k] {
+			seen[k] = true
+			sweep = append(sweep, k)
+		}
+	}
+	eng, err := env.EngineFor(env.ImputeRules, core.LeJIT)
+	if err != nil {
+		return nil, err
+	}
+	defer eng.SetLookahead(0)
+	test := env.TestRecordsN(0)
+	prompts := make([]rules.Record, len(test))
+	for i, rec := range test {
+		prompts[i] = CoarseOf(rec)
+	}
+	const passes = 5
+	rep := &SpecReport{
+		Records:      len(prompts),
+		Rules:        env.ImputeRules.Len(),
+		NumCPU:       runtime.NumCPU(),
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		Passes:       passes,
+		MatchesExact: true,
+	}
+	var baseline []rules.Record
+	for _, k := range sweep {
+		eng.SetLookahead(k)
+		var best time.Duration
+		var batch []core.BatchResult
+		for pass := 0; pass < passes; pass++ {
+			start := time.Now()
+			b, err := eng.DecodeBatch(prompts, 1, env.Scale.Seed+6000, nil)
+			if err != nil {
+				return nil, err
+			}
+			if d := time.Since(start); pass == 0 || d < best {
+				best = d
+			}
+			if pass == 0 {
+				batch = b
+			}
+		}
+		pt := SpecPoint{Lookahead: k, MatchesExact: true}
+		recs := make([]rules.Record, len(batch))
+		var checks uint64
+		for i, b := range batch {
+			if b.Err != nil {
+				return nil, fmt.Errorf("spec bench: lookahead=%d record %d: %w", k, i, b.Err)
+			}
+			recs[i] = b.Res.Rec
+			pt.Tokens += b.Res.Stats.Tokens
+			checks += b.Res.Stats.SolverChecks
+			pt.AcceptedTokens += b.Res.Stats.SpecAcceptedTokens
+			pt.Rollbacks += b.Res.Stats.SpecRollbacks
+		}
+		if len(prompts) > 0 {
+			pt.MsPerRecord = float64(best.Microseconds()) / 1000 / float64(len(prompts))
+		}
+		if pt.Tokens > 0 {
+			pt.ChecksPerToken = float64(checks) / float64(pt.Tokens)
+			pt.AcceptRate = float64(pt.AcceptedTokens) / float64(pt.Tokens)
+		}
+		if k == 0 {
+			baseline = recs
+		} else {
+			pt.MatchesExact = reflect.DeepEqual(recs, baseline)
+			if !pt.MatchesExact {
+				rep.MatchesExact = false
+			}
+		}
+		rep.Points = append(rep.Points, pt)
+	}
+	return rep, nil
+}
+
+// WriteJSON writes the report to path, pretty-printed.
+func (r *SpecReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// SpecTable renders the report for the text output.
+func SpecTable(r *SpecReport) Table {
+	t := Table{
+		Title: fmt.Sprintf("Speculative decoding: lookahead sweep (%d records, NumCPU=%d GOMAXPROCS=%d)",
+			r.Records, r.NumCPU, r.GoMaxProcs),
+		Header: []string{"lookahead", "ms/record", "checks/token", "accept %", "rollbacks", "exact"},
+	}
+	for _, p := range r.Points {
+		match := "yes"
+		if !p.MatchesExact {
+			match = "NO"
+		}
+		t.Rows = append(t.Rows, []string{
+			itoa(p.Lookahead), f3(p.MsPerRecord), f3(p.ChecksPerToken),
+			pct(p.AcceptRate), itoa(p.Rollbacks), match,
+		})
+	}
+	return t
+}

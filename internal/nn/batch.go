@@ -244,6 +244,29 @@ func (bs *BatchSession) Logits(lane int) []float32 {
 	return bs.logits[lane*v : (lane+1)*v]
 }
 
+// RewindLane truncates one lane back to pos consumed tokens and restores its
+// pending logits row from the caller-supplied snapshot. The lane's KV cache
+// block needs no clearing: attention reads only positions ≤ the lane's
+// current length, and re-decoding overwrites the stale tail in place. The
+// logits are copied into the lane's fixed row, so a caller holding the
+// Logits(lane) slice sees the restored values. Other lanes are untouched —
+// this is how a speculating lock-step lane rolls back without desyncing the
+// batch (DESIGN.md §13).
+func (bs *BatchSession) RewindLane(lane, pos int, logits []float32) error {
+	v := bs.m.Cfg.Vocab
+	switch {
+	case lane < 0 || lane >= bs.n:
+		return fmt.Errorf("nn: RewindLane lane %d outside batch of %d", lane, bs.n)
+	case pos < 0 || pos > bs.pos[lane]:
+		return fmt.Errorf("nn: RewindLane(%d) outside [0,%d]", pos, bs.pos[lane])
+	case len(logits) != v:
+		return fmt.Errorf("nn: RewindLane logits length %d, want %d", len(logits), v)
+	}
+	bs.pos[lane] = pos
+	copy(bs.logits[lane*v:(lane+1)*v], logits)
+	return nil
+}
+
 // CloneLane extracts lane as an independent single-row Session — same
 // consumed prefix, same pending logits, its own KV cache — so a lane can
 // leave the lock-step batch and continue on the per-record path (beam

@@ -1,0 +1,222 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// These tests pin the rewind contract speculative decoding depends on
+// (DESIGN.md §13): after Rewind(pos, snap) a session re-fed the same suffix
+// must produce bit-identical logits to a session that never diverged, even
+// across page boundaries and with clones sharing the rewound pages.
+
+func TestSessionRewindReDecodesBitIdentical(t *testing.T) {
+	cfg := Config{Vocab: 11, Ctx: 3 * PageTokens, Dim: 8, Heads: 2, Layers: 2}
+	m := goldenModel(t, cfg, 91)
+	rng := rand.New(rand.NewSource(7))
+	seq := randSeq(rng, cfg.Ctx-1, cfg.Vocab)
+
+	// Checkpoints straddling page boundaries: mid-page, exactly on a
+	// boundary, and one past it.
+	for _, cp := range []int{1, PageTokens - 1, PageTokens, PageTokens + 1, 2*PageTokens - 2} {
+		ref := m.NewSession()
+		spec := m.NewSession()
+		for _, tok := range seq[:cp] {
+			for _, s := range []*Session{ref, spec} {
+				if err := s.Append(tok); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		snap := append([]float32(nil), spec.Logits()...)
+		specLogits := spec.Logits() // held across the rewind, like a driver would
+
+		// Speculate down a divergent path, then roll back.
+		for _, tok := range randSeq(rng, len(seq)-cp, cfg.Vocab) {
+			if err := spec.Append(tok); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := spec.Rewind(cp, snap); err != nil {
+			t.Fatal(err)
+		}
+		if spec.Len() != cp {
+			t.Fatalf("Len = %d after Rewind(%d)", spec.Len(), cp)
+		}
+		// The driver's held slice must show the restored values in place.
+		compareLogitsBits(t, specLogits, ref.Logits(), "restored logits")
+
+		for _, tok := range seq[cp:] {
+			if err := ref.Append(tok); err != nil {
+				t.Fatal(err)
+			}
+			if err := spec.Append(tok); err != nil {
+				t.Fatal(err)
+			}
+			compareLogitsBits(t, spec.Logits(), ref.Logits(), "re-decoded logits")
+		}
+	}
+}
+
+// TestSessionRewindLeavesClonesIntact checks that rewinding past released
+// pages cannot corrupt a clone that still shares them (refcounts must keep
+// the pages alive), and that the rewound session copy-on-writes the kept
+// partial page instead of scribbling over the clone's view.
+func TestSessionRewindLeavesClonesIntact(t *testing.T) {
+	cfg := Config{Vocab: 11, Ctx: 3 * PageTokens, Dim: 8, Heads: 2, Layers: 2}
+	m := goldenModel(t, cfg, 92)
+	rng := rand.New(rand.NewSource(8))
+	seq := randSeq(rng, 2*PageTokens+3, cfg.Vocab)
+	cp := PageTokens / 2
+
+	s := m.NewSession()
+	var snap []float32
+	for i, tok := range seq {
+		if err := s.Append(tok); err != nil {
+			t.Fatal(err)
+		}
+		if i == cp-1 {
+			snap = append([]float32(nil), s.Logits()...)
+		}
+	}
+	frozen := s.Clone()
+	defer frozen.Release()
+
+	if err := s.Rewind(cp, snap); err != nil {
+		t.Fatal(err)
+	}
+	// Re-decode a different suffix on the rewound session…
+	for _, tok := range randSeq(rng, 4, cfg.Vocab) {
+		if err := s.Append(tok); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// …then verify the clone still continues from the full original prefix
+	// exactly as an undisturbed session would.
+	ref := m.NewSession()
+	for _, tok := range seq {
+		if err := ref.Append(tok); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cont := randSeq(rng, 3, cfg.Vocab)
+	for _, tok := range cont {
+		if err := frozen.Append(tok); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.Append(tok); err != nil {
+			t.Fatal(err)
+		}
+		compareLogitsBits(t, frozen.Logits(), ref.Logits(), "clone after donor rewind")
+	}
+}
+
+func TestSessionRewindErrors(t *testing.T) {
+	cfg := Config{Vocab: 11, Ctx: 16, Dim: 8, Heads: 2, Layers: 2}
+	m := goldenModel(t, cfg, 93)
+	s := m.NewSession()
+	if err := s.Append(1); err != nil {
+		t.Fatal(err)
+	}
+	snap := append([]float32(nil), s.Logits()...)
+	if err := s.Rewind(2, snap); err == nil {
+		t.Error("Rewind past Len accepted")
+	}
+	if err := s.Rewind(-1, snap); err == nil {
+		t.Error("Rewind(-1) accepted")
+	}
+	if err := s.Rewind(1, snap[:3]); err == nil {
+		t.Error("short logits snapshot accepted")
+	}
+}
+
+func TestRewindLaneReDecodesBitIdentical(t *testing.T) {
+	cfg := Config{Vocab: 13, Ctx: 24, Dim: 24, Heads: 4, Layers: 3}
+	m := goldenModel(t, cfg, 94)
+	rng := rand.New(rand.NewSource(9))
+	const lanes = 3
+	seqs := laneSchedule(rng, lanes, 10, 20, cfg.Vocab)
+
+	bs := m.NewBatchSession(lanes)
+	ref := make([]*Session, lanes)
+	for i := range ref {
+		ref[i] = m.NewSession()
+	}
+	// Feed every lane its first 5 tokens, snapshotting lane 1 at position 3.
+	var snap []float32
+	const rewindLane, rewindPos = 1, 3
+	for step := 0; step < 5; step++ {
+		ls, ts := []int{}, []int{}
+		for i, seq := range seqs {
+			ls = append(ls, i)
+			ts = append(ts, seq[step])
+			if err := ref[i].Append(seq[step]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := bs.AppendBatch(ls, ts); err != nil {
+			t.Fatal(err)
+		}
+		if step == rewindPos-1 {
+			snap = append([]float32(nil), bs.Logits(rewindLane)...)
+		}
+	}
+	if err := bs.RewindLane(rewindLane, rewindPos, snap); err != nil {
+		t.Fatal(err)
+	}
+	if bs.Len(rewindLane) != rewindPos {
+		t.Fatalf("Len(lane) = %d after RewindLane(%d)", bs.Len(rewindLane), rewindPos)
+	}
+	// Rebuild the reference for the rewound lane and continue all lanes in
+	// lock-step: the rewound lane replays seq[3:5] while the others advance
+	// raggedly past it, so the batch stays desync-free by construction.
+	ref[rewindLane].Release()
+	ref[rewindLane] = m.NewSession()
+	for _, tok := range seqs[rewindLane][:rewindPos] {
+		if err := ref[rewindLane].Append(tok); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fed := []int{5, rewindPos, 5}
+	for {
+		ls, ts := []int{}, []int{}
+		for i, seq := range seqs {
+			if fed[i] < len(seq) {
+				ls = append(ls, i)
+				ts = append(ts, seq[fed[i]])
+			}
+		}
+		if len(ls) == 0 {
+			break
+		}
+		if err := bs.AppendBatch(ls, ts); err != nil {
+			t.Fatal(err)
+		}
+		for j, lane := range ls {
+			if err := ref[lane].Append(ts[j]); err != nil {
+				t.Fatal(err)
+			}
+			fed[lane]++
+			compareLogitsBits(t, bs.Logits(lane), ref[lane].Logits(), "lane logits after rewind")
+		}
+	}
+}
+
+func TestRewindLaneErrors(t *testing.T) {
+	cfg := Config{Vocab: 11, Ctx: 16, Dim: 8, Heads: 2, Layers: 2}
+	m := goldenModel(t, cfg, 95)
+	bs := m.NewBatchSession(2)
+	if err := bs.AppendBatch([]int{0}, []int{1}); err != nil {
+		t.Fatal(err)
+	}
+	snap := append([]float32(nil), bs.Logits(0)...)
+	if err := bs.RewindLane(2, 0, snap); err == nil {
+		t.Error("out-of-range lane accepted")
+	}
+	if err := bs.RewindLane(0, 2, snap); err == nil {
+		t.Error("RewindLane past Len accepted")
+	}
+	if err := bs.RewindLane(0, 1, snap[:2]); err == nil {
+		t.Error("short logits snapshot accepted")
+	}
+}

@@ -39,6 +39,11 @@ type DecodeRequest struct {
 	// state nor leaves snapshots behind. The response is unchanged either
 	// way (warm decodes are bit-identical); this is an isolation knob.
 	NoPrefixCache bool `json:"no_prefix_cache,omitempty"`
+	// Lookahead, when set, overrides the daemon's speculative-decoding
+	// window (the -lookahead flag) for this request; 0 forces the exact
+	// path. The response is bit-identical for every value (DESIGN.md §13) —
+	// this is a latency knob, not a quality one.
+	Lookahead *int `json:"lookahead,omitempty"`
 }
 
 // CheckRequest is the body of POST /v1/check.
@@ -53,6 +58,9 @@ type StatsJSON struct {
 	ForcedSteps  int    `json:"forced_steps"`
 	SolverChecks uint64 `json:"solver_checks"`
 	Attempts     int    `json:"attempts,omitempty"`
+	// Speculative-decoding counters (zero unless a lookahead was in effect).
+	SpecAcceptedTokens int `json:"spec_accepted_tokens,omitempty"`
+	SpecRollbacks      int `json:"spec_rollbacks,omitempty"`
 }
 
 // DecodeResponse is the body of a successful impute/generate response.
@@ -118,6 +126,9 @@ func ParseDecodeRequest(r io.Reader, schema *rules.Schema, allowKnown bool) (*De
 	}
 	if req.TimeoutMs < 0 {
 		return nil, badRequestf("timeout_ms must be non-negative")
+	}
+	if req.Lookahead != nil && *req.Lookahead < 0 {
+		return nil, badRequestf("lookahead must be non-negative")
 	}
 	if !allowKnown && len(req.Known) > 0 {
 		return nil, badRequestf("generate takes no known fields; use /v1/impute")

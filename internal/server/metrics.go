@@ -67,6 +67,11 @@ type Metrics struct {
 	tokens       uint64 // decoded tokens (from core.Stats)
 	solverChecks uint64 // SMT checks attributable to served decodes
 
+	// Speculative-decoding counters (DESIGN.md §13): tokens committed via an
+	// accepted lookahead window, and windows rolled back after validation.
+	specAccepted  uint64
+	specRollbacks uint64
+
 	// Fault-isolation counters (DESIGN.md §10): every failed record of a
 	// dispatched batch retires one lane; the two sub-causes worth alerting
 	// on — solver budget exhaustion and recovered panics — are also counted
@@ -124,10 +129,12 @@ func (m *Metrics) observeLatency(seconds float64) {
 	m.mu.Unlock()
 }
 
-func (m *Metrics) countDecode(tokens int, solverChecks uint64) {
+func (m *Metrics) countDecode(tokens int, solverChecks uint64, specAccepted, specRollbacks int) {
 	m.mu.Lock()
 	m.tokens += uint64(tokens)
 	m.solverChecks += solverChecks
+	m.specAccepted += uint64(specAccepted)
+	m.specRollbacks += uint64(specRollbacks)
 	m.mu.Unlock()
 }
 
@@ -170,6 +177,9 @@ type Snapshot struct {
 	SolverChecks  uint64
 	QueueDepth    int
 
+	SpecAcceptedTokens uint64
+	SpecRollbacks      uint64
+
 	BudgetExhausted uint64
 	PanicsRecovered uint64
 	LanesRetired    uint64
@@ -195,6 +205,9 @@ func (m *Metrics) Snapshot() Snapshot {
 		MeanBatchSize: m.batchSize.mean(),
 		Tokens:        m.tokens,
 		SolverChecks:  m.solverChecks,
+
+		SpecAcceptedTokens: m.specAccepted,
+		SpecRollbacks:      m.specRollbacks,
 
 		BudgetExhausted: m.budgetExhausted,
 		PanicsRecovered: m.panicsRecovered,
@@ -274,6 +287,14 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintln(w, "# HELP lejitd_solver_checks_total SMT solver checks attributable to served requests.")
 	fmt.Fprintln(w, "# TYPE lejitd_solver_checks_total counter")
 	fmt.Fprintf(w, "lejitd_solver_checks_total %d\n", m.solverChecks)
+
+	fmt.Fprintln(w, "# HELP lejitd_speculation_accepted_tokens_total Tokens committed through accepted speculative lookahead windows.")
+	fmt.Fprintln(w, "# TYPE lejitd_speculation_accepted_tokens_total counter")
+	fmt.Fprintf(w, "lejitd_speculation_accepted_tokens_total %d\n", m.specAccepted)
+
+	fmt.Fprintln(w, "# HELP lejitd_speculation_rollbacks_total Speculative windows rolled back after suffix validation failed.")
+	fmt.Fprintln(w, "# TYPE lejitd_speculation_rollbacks_total counter")
+	fmt.Fprintf(w, "lejitd_speculation_rollbacks_total %d\n", m.specRollbacks)
 
 	if m.prefixStats != nil {
 		ps := m.prefixStats()

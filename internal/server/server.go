@@ -91,12 +91,13 @@ func (c *Config) fill() {
 
 // job is one admitted decode request waiting for the batcher.
 type job struct {
-	ctx     context.Context
-	prompt  rules.Record // nil → unconditional generation
-	seed    int64
-	decode  core.DecodeCtxFn
-	noCache bool // request opted out of the prefix cache
-	start   time.Time
+	ctx       context.Context
+	prompt    rules.Record // nil → unconditional generation
+	seed      int64
+	decode    core.DecodeCtxFn
+	noCache   bool // request opted out of the prefix cache
+	lookahead *int // per-request speculative-window override (nil → daemon default)
+	start     time.Time
 	// resp is buffered (cap 1): the batcher never blocks delivering to a
 	// handler that already gave up on its deadline.
 	resp chan jobResult
@@ -255,7 +256,7 @@ func (s *Server) runBatch(batch []*job) {
 	reqs := make([]core.BatchRequest, len(batch))
 	for i, j := range batch {
 		seed := j.seed
-		reqs[i] = core.BatchRequest{Prompt: j.prompt, Ctx: j.ctx, Seed: &seed, Decode: j.decode, NoPrefixCache: j.noCache}
+		reqs[i] = core.BatchRequest{Prompt: j.prompt, Ctx: j.ctx, Seed: &seed, Decode: j.decode, NoPrefixCache: j.noCache, Lookahead: j.lookahead}
 	}
 	out, err := s.cfg.Engine.DecodeRequests(context.Background(), reqs, s.cfg.Workers, 0, nil)
 	if err != nil {
@@ -351,13 +352,14 @@ func (s *Server) serveDecode(w http.ResponseWriter, r *http.Request, route strin
 		seed = *req.Seed
 	}
 	j := &job{
-		ctx:     ctx,
-		prompt:  req.Known,
-		seed:    seed,
-		decode:  decode,
-		noCache: req.NoPrefixCache,
-		start:   time.Now(),
-		resp:    make(chan jobResult, 1),
+		ctx:       ctx,
+		prompt:    req.Known,
+		seed:      seed,
+		decode:    decode,
+		noCache:   req.NoPrefixCache,
+		lookahead: req.Lookahead,
+		start:     time.Now(),
+		resp:      make(chan jobResult, 1),
 	}
 	// Bounded admission: never block the handler on a full queue.
 	select {
@@ -403,7 +405,7 @@ func (s *Server) writeDecodeResult(w http.ResponseWriter, res jobResult) int {
 		}
 	}
 	st := res.res.Stats
-	s.metrics.countDecode(st.Tokens, st.SolverChecks)
+	s.metrics.countDecode(st.Tokens, st.SolverChecks, st.SpecAcceptedTokens, st.SpecRollbacks)
 	out := DecodeResponse{
 		Record:    res.res.Rec,
 		Line:      s.formatLine(res.res.Rec),
@@ -412,6 +414,7 @@ func (s *Server) writeDecodeResult(w http.ResponseWriter, res jobResult) int {
 		Stats: StatsJSON{
 			Tokens: st.Tokens, MaskedSteps: st.MaskedSteps, ForcedSteps: st.ForcedSteps,
 			SolverChecks: st.SolverChecks, Attempts: st.Attempts,
+			SpecAcceptedTokens: st.SpecAcceptedTokens, SpecRollbacks: st.SpecRollbacks,
 		},
 	}
 	if s.cfg.Rules != nil {

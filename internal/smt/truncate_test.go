@@ -1,0 +1,202 @@
+package smt
+
+import "testing"
+
+func TestTruncateToDiscardsSpeculativeAsserts(t *testing.T) {
+	s := NewSolver()
+	x := s.NewVar("x", 0, 100)
+	s.Assert(Ge(V(x), C(10)))
+
+	mark := s.AssertionMark()
+	if mark != 1 {
+		t.Fatalf("AssertionMark = %d, want 1", mark)
+	}
+	s.Assert(Eq(V(x), C(42)))
+	s.Assert(Le(V(x), C(50)))
+	if got := s.NumAssertions(); got != 3 {
+		t.Fatalf("NumAssertions = %d after speculative asserts, want 3", got)
+	}
+	r := s.CheckWith(Eq(V(x), C(99)))
+	if r.Status != Unsat {
+		t.Fatalf("CheckWith(x=99) over speculative x=42 = %v, want unsat", r.Status)
+	}
+
+	before := s.Epoch()
+	s.TruncateTo(mark)
+	if got := s.NumAssertions(); got != 1 {
+		t.Fatalf("NumAssertions = %d after TruncateTo, want 1", got)
+	}
+	if s.Epoch() == before {
+		t.Error("TruncateTo did not advance the epoch")
+	}
+	r = s.CheckWith(Eq(V(x), C(99)))
+	if r.Status != Sat {
+		t.Fatalf("CheckWith(x=99) after TruncateTo = %v, want sat", r.Status)
+	}
+}
+
+func TestTruncateToCurrentLengthIsNoOp(t *testing.T) {
+	s := NewSolver()
+	x := s.NewVar("x", 0, 10)
+	s.Assert(Ge(V(x), C(1)))
+	epoch := s.Epoch()
+	s.TruncateTo(s.AssertionMark())
+	if s.Epoch() != epoch {
+		t.Error("no-op TruncateTo advanced the epoch")
+	}
+}
+
+func TestTruncateToInterleavesWithFrames(t *testing.T) {
+	s := NewSolver()
+	x := s.NewVar("x", 0, 100)
+	s.Assert(Ge(V(x), C(10))) // base, outside any frame
+
+	s.Push()
+	s.Assert(Le(V(x), C(90))) // frame-owned
+	mark := s.AssertionMark()
+	s.Assert(Eq(V(x), C(42))) // speculative, above the frame mark
+	s.TruncateTo(mark)
+	if got := s.NumAssertions(); got != 2 {
+		t.Fatalf("NumAssertions = %d after truncate inside frame, want 2", got)
+	}
+	// Pop must still discard exactly the frame's assertion.
+	s.Pop()
+	if got := s.NumAssertions(); got != 1 {
+		t.Fatalf("NumAssertions = %d after Pop, want 1", got)
+	}
+}
+
+func TestTruncateToPanicsBelowOpenFrame(t *testing.T) {
+	s := NewSolver()
+	x := s.NewVar("x", 0, 100)
+	s.Assert(Ge(V(x), C(10)))
+	s.Push()
+	s.Assert(Le(V(x), C(90)))
+	for _, mark := range []int{0, -1, 99} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("TruncateTo(%d) did not panic", mark)
+				}
+			}()
+			s.TruncateTo(mark)
+		}()
+	}
+}
+
+func TestTruncateReplayRestoresEpoch(t *testing.T) {
+	s := NewSolver()
+	x := s.NewVar("x", 0, 100)
+	s.Assert(Ge(V(x), C(10)))
+	mark := s.AssertionMark()
+	e1 := s.Epoch()
+
+	f2, f3 := Eq(V(x), C(42)), Le(V(x), C(50))
+	s.Assert(f2)
+	e2 := s.Epoch()
+	s.Assert(f3)
+	e3 := s.Epoch()
+
+	s.TruncateTo(mark)
+	if got := s.Epoch(); got != e1 {
+		t.Fatalf("Epoch after TruncateTo = %d, want the prefix's old epoch %d", got, e1)
+	}
+	// Replaying the identical formulas walks back up the recorded epochs.
+	s.Assert(Eq(V(x), C(42)))
+	if got := s.Epoch(); got != e2 {
+		t.Fatalf("Epoch after replaying assert = %d, want %d", got, e2)
+	}
+	s.Assert(Le(V(x), C(50)))
+	if got := s.Epoch(); got != e3 {
+		t.Fatalf("Epoch after full replay = %d, want %d", got, e3)
+	}
+	if r := s.CheckWith(Eq(V(x), C(99))); r.Status != Unsat {
+		t.Fatalf("CheckWith(x=99) after replay = %v, want unsat", r.Status)
+	}
+}
+
+func TestTruncateDivergentAssertGetsFreshEpoch(t *testing.T) {
+	s := NewSolver()
+	x := s.NewVar("x", 0, 100)
+	s.Assert(Ge(V(x), C(10)))
+	mark := s.AssertionMark()
+	s.Assert(Eq(V(x), C(42)))
+	e2 := s.Epoch()
+
+	s.TruncateTo(mark)
+	s.Assert(Eq(V(x), C(43))) // different formula at the same position
+	if got := s.Epoch(); got == e2 {
+		t.Fatal("divergent assert restored the old epoch; states differ")
+	}
+	if r := s.CheckWith(Eq(V(x), C(43))); r.Status != Sat {
+		t.Fatalf("CheckWith(x=43) = %v, want sat", r.Status)
+	}
+	// The shadow is dropped on divergence: re-asserting the original
+	// formula later must not resurrect the pre-divergence epoch.
+	s.TruncateTo(mark)
+	s.Assert(Eq(V(x), C(42)))
+	if got := s.Epoch(); got == e2 {
+		t.Fatal("epoch restored across a divergent overwrite")
+	}
+}
+
+func TestTruncateReplayAfterNewVarReRecords(t *testing.T) {
+	s := NewSolver()
+	x := s.NewVar("x", 0, 100)
+	s.Assert(Ge(V(x), C(10)))
+	mark := s.AssertionMark()
+	s.Assert(Eq(V(x), C(42)))
+	e2 := s.Epoch()
+
+	y := s.NewVar("y", 0, 5)
+	s.Assert(Ge(V(y), C(1)))
+	s.TruncateTo(mark + 1) // back to [x>=10, x=42], but y now exists
+	eNew := s.Epoch()
+	if eNew == e2 {
+		t.Fatal("epoch restored across a NewVar; variable sets differ")
+	}
+	// The re-recorded epoch is stable on the next visit.
+	s.TruncateTo(mark)
+	s.Assert(Eq(V(x), C(42)))
+	if got := s.Epoch(); got != eNew {
+		t.Fatalf("revisit epoch = %d, want re-recorded %d", got, eNew)
+	}
+	if lo, hi, ok := s.BaseBounds(y); !ok || lo != 0 || hi != 5 {
+		t.Fatalf("BaseBounds(y) = [%d,%d] ok=%v, want [0,5] true", lo, hi, ok)
+	}
+}
+
+func TestTruncateReplayKeepsBaseWarm(t *testing.T) {
+	s := NewSolver()
+	x := s.NewVar("x", 0, 100)
+	s.Assert(Ge(V(x), C(10)))
+	mark := s.AssertionMark()
+	s.Assert(Eq(V(x), C(42)))
+
+	// Build bases at both heights once.
+	if _, _, ok := s.BaseBounds(x); !ok {
+		t.Fatal("full stack infeasible")
+	}
+	s.TruncateTo(mark)
+	if _, _, ok := s.BaseBounds(x); !ok {
+		t.Fatal("prefix infeasible")
+	}
+	s.Assert(Eq(V(x), C(42)))
+	builds := s.Stats().BaseBuilds
+
+	// Ping-pong between the two heights: every base is cached, so no
+	// further builds happen.
+	for i := 0; i < 5; i++ {
+		s.TruncateTo(mark)
+		if _, _, ok := s.BaseBounds(x); !ok {
+			t.Fatal("prefix infeasible during ping-pong")
+		}
+		s.Assert(Eq(V(x), C(42)))
+		if _, _, ok := s.BaseBounds(x); !ok {
+			t.Fatal("full stack infeasible during ping-pong")
+		}
+	}
+	if got := s.Stats().BaseBuilds; got != builds {
+		t.Fatalf("BaseBuilds grew %d -> %d during truncate/replay ping-pong, want no growth", builds, got)
+	}
+}
