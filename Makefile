@@ -5,7 +5,7 @@ GO ?= go
 #   make bench-serve BENCH_OUT=BENCH_3.json
 BENCH_OUT ?= bench.json
 
-.PHONY: all tier1 verify bench perf bench-serve bench-spec fmt clean
+.PHONY: all tier1 verify bench perf bench-serve bench-spec bench-pack fmt clean
 
 all: verify
 
@@ -21,7 +21,7 @@ verify: tier1
 	$(GO) vet ./...
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
-	$(GO) test -race ./internal/core/... ./internal/smt/... ./internal/nn/... ./internal/server/... ./internal/prefixcache/...
+	$(GO) test -race ./internal/core/... ./internal/smt/... ./internal/nn/... ./internal/server/... ./internal/prefixcache/... ./internal/pack/...
 
 # Kernel microbenchmarks (vs seed-copy references) plus the perf figure,
 # which writes the machine-readable report.
@@ -44,6 +44,12 @@ bench-serve:
 SPEC_LOOKAHEAD ?= 0
 bench-spec:
 	$(GO) run ./cmd/lejit-bench -scale tiny -fig spec -json $(BENCH_OUT) -lookahead $(SPEC_LOOKAHEAD)
+
+# Domain-pack benchmark (BENCH_7.json in the committed tree): one lejitd
+# serving the telemetry, routercfg, and fincompliance packs under a mixed
+# workload with a fincompliance rule hot-reload fired halfway through.
+bench-pack:
+	$(GO) run ./cmd/lejit-bench -scale tiny -fig pack -json $(BENCH_OUT)
 
 fmt:
 	gofmt -w .

@@ -31,7 +31,7 @@ func main() {
 
 func run() error {
 	scale := flag.String("scale", "default", "default|tiny")
-	figs := flag.String("fig", "all", "comma-separated: 3l,3r,4l,4r,5,abl,perf,serve,spec (all = every figure except serve and spec)")
+	figs := flag.String("fig", "all", "comma-separated: 3l,3r,4l,4r,5,abl,perf,serve,spec,pack (all = every figure except serve, spec, and pack)")
 	testN := flag.Int("testn", 0, "override test-record count")
 	sampleN := flag.Int("samplen", 0, "override synthesis sample count")
 	racks := flag.Int("racks", 0, "override total rack count")
@@ -159,7 +159,7 @@ func run() error {
 		}
 		fmt.Println(experiments.AblationTable("Ablation: decoding strategy (sampling vs greedy vs beam)", db).Render())
 	}
-	if all || want["perf"] || (*jsonOut != "" && !want["serve"] && !want["spec"]) {
+	if all || want["perf"] || (*jsonOut != "" && !want["serve"] && !want["spec"] && !want["pack"]) {
 		rep, err := experiments.RunPerf(env, nil)
 		if err != nil {
 			return err
@@ -196,6 +196,25 @@ func run() error {
 				return err
 			}
 			fmt.Printf("# spec report written to %s\n", *jsonOut)
+		}
+	}
+	// The domain-pack benchmark trains two extra tiny models and spins up a
+	// multi-pack lejitd instance, so it only runs when asked for explicitly —
+	// it is not part of "all".
+	if want["pack"] {
+		rep, err := experiments.RunPackBench(env, experiments.ServeBenchConfig{})
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.PackTable(rep).Render())
+		if !rep.TelemetryMatchesDirect {
+			return fmt.Errorf("telemetry pack diverged from the directly built engine (see table)")
+		}
+		if *jsonOut != "" {
+			if err := rep.WriteJSON(*jsonOut); err != nil {
+				return err
+			}
+			fmt.Printf("# pack report written to %s\n", *jsonOut)
 		}
 	}
 	// The serving load test spins up a real lejitd instance, so it only

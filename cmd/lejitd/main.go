@@ -1,21 +1,25 @@
-// Command lejitd is the LeJIT serving daemon: it loads a model and rule set
-// once, then serves rule-compliant imputation/generation over HTTP with
-// dynamic micro-batching, bounded-queue backpressure, per-request deadlines,
-// Prometheus metrics, and graceful drain on SIGTERM.
+// Command lejitd is the LeJIT serving daemon: it loads domain packs (model +
+// rule set + decode shape bundles) once, then serves rule-compliant
+// imputation/generation over HTTP with per-request pack selection, dynamic
+// micro-batching, bounded-queue backpressure, per-request deadlines,
+// Prometheus metrics, rule hot-reload, and graceful drain on SIGTERM.
 //
 // Endpoints:
 //
-//	POST /v1/impute    {"known": {"TotalIngress": [100], ...}, "seed": 1}
-//	POST /v1/generate  {"seed": 2}
-//	POST /v1/check     {"record": {...}}
+//	POST /v1/impute       {"pack": "telemetry", "known": {"TotalIngress": [100], ...}, "seed": 1}
+//	POST /v1/generate     {"pack": "routercfg", "seed": 2}
+//	POST /v1/check        {"pack": "fincompliance", "record": {...}}
+//	GET  /v1/packs
+//	POST /v1/packs/reload {"pack": "telemetry", "rules": "rule r1: ..."}
 //	GET  /healthz
 //	GET  /metrics
 //
 // Examples:
 //
 //	lejitd -model model.gob -rules rules.txt -addr :8080
-//	lejitd -demo                      # self-contained: trains a tiny model in-process
+//	lejitd -demo                      # self-contained: trains tiny models in-process
 //	lejitd -demo -batch-window 5ms -max-batch 16 -queue 128
+//	lejitd -model model.gob -pack pack.manifest:pack.rules
 package main
 
 import (
@@ -27,16 +31,15 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/dataset"
 	"repro/internal/experiments"
 	"repro/internal/nn"
-	"repro/internal/rules"
+	"repro/internal/pack"
 	"repro/internal/server"
-	"repro/internal/vocab"
 )
 
 func main() {
@@ -46,12 +49,21 @@ func main() {
 	}
 }
 
+// packFlags collects repeated -pack MANIFEST:RULES[:MODEL] values.
+type packFlags []string
+
+func (p *packFlags) String() string     { return strings.Join(*p, ",") }
+func (p *packFlags) Set(v string) error { *p = append(*p, v); return nil }
+
 func run() error {
 	addr := flag.String("addr", ":8080", "listen address")
-	modelPath := flag.String("model", "", "trained model file (see 'lejit train'); required unless -demo")
-	rulePath := flag.String("rules", "", "rule file (see 'lejit mine'); optional with -demo")
-	demo := flag.Bool("demo", false, "self-contained demo: train a tiny model and mine rules in-process")
+	modelPath := flag.String("model", "", "trained telemetry model file (see 'lejit train'); required unless -demo")
+	rulePath := flag.String("rules", "", "telemetry rule file (see 'lejit mine'); optional with -demo")
+	demo := flag.Bool("demo", false, "self-contained demo: train tiny models and mine rules in-process; serves the telemetry, routercfg, and fincompliance packs")
 	temp := flag.Float64("temp", 0.9, "sampling temperature")
+	var extraPacks packFlags
+	flag.Var(&extraPacks, "pack", "extra domain pack as MANIFEST:RULES[:MODEL] file paths (repeatable); without MODEL the pack decodes under a uniform LM")
+	defaultPack := flag.String("default-pack", pack.TelemetryName, "pack used by requests that do not select one")
 	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "how long to hold the micro-batch open after the first request")
 	maxBatch := flag.Int("max-batch", 32, "max records coalesced per decode batch")
 	queueDepth := flag.Int("queue", 256, "admission queue depth (full queue answers 429)")
@@ -63,27 +75,33 @@ func run() error {
 	solverBudget := flag.Uint64("solver-budget", 0, "max solver search nodes per SMT check; an exhausted check fails only its own request with 503 (0 = solver default)")
 	solverTimeout := flag.Duration("solver-timeout", 0, "wall-clock budget per SMT check (0 = none)")
 	degradedThreshold := flag.Int("degraded-threshold", 0, "report /healthz status \"degraded\" once this many requests exhausted their solver budget (0 = disabled)")
-	prefixCacheMB := flag.Int("prefix-cache-mb", 64, "cross-request prefix cache budget in MiB: decodes sharing a prompt prefix reuse transformer KV and solver state across batches (0 = disabled)")
+	prefixCacheMB := flag.Int("prefix-cache-mb", 64, "per-pack cross-request prefix cache budget in MiB: decodes sharing a prompt prefix reuse transformer KV and solver state across batches (0 = disabled)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060); off when empty, never on the public listener")
 	flag.Parse()
 
-	eng, rs, schema, err := buildEngine(*modelPath, *rulePath, *demo, *temp)
+	logf := func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+	reg, err := buildRegistry(*modelPath, *rulePath, extraPacks, *demo, *temp, *prefixCacheMB, logf)
 	if err != nil {
 		return err
 	}
-	if *solverBudget > 0 || *solverTimeout > 0 {
-		eng.SetSolverBudget(*solverBudget, *solverTimeout)
+	// Budgets and the speculative window are engine state, so they apply per
+	// registered pack — and ride along across hot reloads, which rebuild
+	// engines from the current configuration.
+	for _, name := range reg.Names() {
+		pk, _ := reg.Get(name)
+		if *solverBudget > 0 || *solverTimeout > 0 {
+			pk.Engine.SetSolverBudget(*solverBudget, *solverTimeout)
+		}
+		if *lookahead > 0 {
+			pk.Engine.SetLookahead(*lookahead)
+		}
 	}
-	if *lookahead > 0 {
-		eng.SetLookahead(*lookahead)
-	}
-	logf := func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
 	srv, err := server.New(server.Config{
-		Engine: eng, Rules: rs, Schema: schema,
+		Packs: reg, DefaultPack: *defaultPack,
 		BatchWindow: *batchWindow, MaxBatch: *maxBatch, QueueDepth: *queueDepth,
 		Workers: *workers, Timeout: *timeout, DrainTimeout: *drainTimeout,
 		Seed: *seed, DegradedThreshold: *degradedThreshold,
-		PrefixCacheMB: *prefixCacheMB, Logf: logf,
+		Logf: logf,
 	})
 	if err != nil {
 		return err
@@ -117,61 +135,124 @@ func run() error {
 		defer psrv.Close()
 		logf("lejitd: pprof on %s", pl.Addr())
 	}
-	logf("lejitd: serving on %s (batch window %v, max batch %d, queue %d)",
-		l.Addr(), *batchWindow, *maxBatch, *queueDepth)
+	logf("lejitd: serving packs %v on %s (default %s, batch window %v, max batch %d, queue %d)",
+		reg.Names(), l.Addr(), *defaultPack, *batchWindow, *maxBatch, *queueDepth)
 	return srv.Serve(ctx, l)
 }
 
-// buildEngine assembles the decoding engine either from artifact files or,
-// with -demo, from an in-process tiny-scale experiment environment.
-func buildEngine(modelPath, rulePath string, demo bool, temp float64) (*core.Engine, *rules.RuleSet, *rules.Schema, error) {
+// buildRegistry assembles the domain-pack registry: the telemetry pack from
+// artifact files (or the in-process demo environment), the demo's two extra
+// built-in packs, and any -pack MANIFEST:RULES[:MODEL] bundles.
+func buildRegistry(modelPath, rulePath string, extra []string, demo bool, temp float64, prefixCacheMB int, logf func(string, ...any)) (*pack.Registry, error) {
+	reg := pack.NewRegistry(int64(prefixCacheMB) << 20)
+
+	telemetryDef, err := telemetryDefinition(modelPath, rulePath, demo, temp)
+	if err != nil {
+		return nil, err
+	}
+	pk, err := pack.Compile(*telemetryDef)
+	if err != nil {
+		return nil, err
+	}
+	if err := reg.Register(pk); err != nil {
+		return nil, err
+	}
+
+	if demo {
+		// The demo serves the two other built-in packs as well, each with a
+		// tiny transformer trained on its example corpus in-process.
+		for _, def := range []pack.Definition{pack.RouterCfgDefinition(nil), pack.FinComplianceDefinition(nil)} {
+			logf("lejitd: training %s demo model (%d examples)", def.Name, len(def.Examples))
+			if err := pack.TrainLM(&def, pack.TrainLMConfig{Logf: logf}); err != nil {
+				return nil, fmt.Errorf("pack %s: %w", def.Name, err)
+			}
+			def.Temperature = temp
+			pk, err := pack.Compile(def)
+			if err != nil {
+				return nil, fmt.Errorf("pack %s: %w", def.Name, err)
+			}
+			if err := reg.Register(pk); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	for _, spec := range extra {
+		pk, err := loadPackSpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		if err := reg.Register(pk); err != nil {
+			return nil, err
+		}
+	}
+	return reg, nil
+}
+
+// telemetryDefinition builds the telemetry pack definition from artifact
+// files or the demo environment.
+func telemetryDefinition(modelPath, rulePath string, demo bool, temp float64) (*pack.Definition, error) {
 	if demo && modelPath == "" {
 		sc := experiments.TinyScale()
 		sc.Quiet = false
 		env, err := experiments.Prepare(sc)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, err
 		}
-		eng, err := env.EngineFor(env.ImputeRules, core.LeJIT)
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		return eng, env.ImputeRules, env.Schema, nil
+		def := pack.TelemetryDefinition(core.WrapNN(env.Model), env.ImputeRules.String(), temp, nil)
+		return &def, nil
 	}
 	if modelPath == "" {
-		return nil, nil, nil, fmt.Errorf("-model is required (or pass -demo)")
+		return nil, fmt.Errorf("-model is required (or pass -demo)")
 	}
 	f, err := os.Open(modelPath)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, err
 	}
 	defer f.Close()
 	m, err := nn.Load(f)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, err
 	}
-	schema := dataset.Schema()
-	var rs *rules.RuleSet
+	ruleText := ""
 	if rulePath != "" {
 		src, err := os.ReadFile(rulePath)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, err
 		}
-		rs, err = rules.ParseRuleSet(string(src), schema)
+		ruleText = string(src)
+	}
+	def := pack.TelemetryDefinition(core.WrapNN(m), ruleText, temp, nil)
+	return &def, nil
+}
+
+// loadPackSpec parses one -pack MANIFEST:RULES[:MODEL] value into a compiled
+// pack.
+func loadPackSpec(spec string) (*pack.Compiled, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 2 && len(parts) != 3 {
+		return nil, fmt.Errorf("-pack %q: want MANIFEST:RULES[:MODEL]", spec)
+	}
+	manifest, err := os.ReadFile(parts[0])
+	if err != nil {
+		return nil, fmt.Errorf("-pack %q: %w", spec, err)
+	}
+	ruleSrc, err := os.ReadFile(parts[1])
+	if err != nil {
+		return nil, fmt.Errorf("-pack %q: %w", spec, err)
+	}
+	var lm core.LM
+	if len(parts) == 3 {
+		f, err := os.Open(parts[2])
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, fmt.Errorf("-pack %q: %w", spec, err)
 		}
+		defer f.Close()
+		m, err := nn.Load(f)
+		if err != nil {
+			return nil, fmt.Errorf("-pack %q: %w", spec, err)
+		}
+		lm = core.WrapNN(m)
 	}
-	slots, err := core.TelemetryGrammar(schema, dataset.CoarseFields(), dataset.FineField)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	eng, err := core.NewEngine(core.Config{
-		LM: core.WrapNN(m), Tok: vocab.Telemetry(), Schema: schema,
-		Rules: rs, Slots: slots, Mode: core.LeJIT, Temperature: temp,
-	})
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	return eng, rs, schema, nil
+	return pack.Load(string(manifest), string(ruleSrc), lm)
 }

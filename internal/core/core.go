@@ -146,6 +146,11 @@ type Config struct {
 	LM     LM
 	Tok    *vocab.Tokenizer
 	Schema *rules.Schema
+	// PackName identifies the domain pack this engine decodes for (empty for
+	// engines built outside the pack registry). It participates in the
+	// rule-epoch fingerprint, so two packs whose rule environments happen to
+	// coincide still never cross-serve cached snapshots.
+	PackName string
 	// Rules guide LeJIT decoding and define "violation" for all decoders.
 	// May be nil (then guided decoding enforces field domains only).
 	Rules *rules.RuleSet
@@ -303,9 +308,11 @@ type Engine struct {
 	// fingerprint is the rule-epoch fingerprint stamped on prefix-cache
 	// snapshots: a hash of everything that decides whether a cached
 	// (KV state, witness model) pair is still valid — the rule set, schema,
-	// grammar, decode mode, and the LM's identity. Computed only when a
-	// PrefixCache is configured; a cache shared across engine families with
-	// different fingerprints simply never cross-serves.
+	// grammar, decode mode, pack identity, and the LM's identity. It doubles
+	// as the pack epoch (internal/pack): a hot reload builds a new engine
+	// whose fingerprint differs exactly when the rule environment changed, so
+	// snapshots from a stale pack are dropped on sight. A cache shared across
+	// engine families with different fingerprints simply never cross-serves.
 	fingerprint uint64
 	// poolMu guards pool, a free list of idle clones used by the lock-step
 	// scheduler (lockstep.go) so per-lane engines are cloned once and then
@@ -397,9 +404,7 @@ func newEngine(cfg Config, ruleFormula smt.Formula) (*Engine, error) {
 			}
 		}
 	}
-	if cfg.PrefixCache != nil {
-		e.fingerprint = ruleFingerprint(cfg)
-	}
+	e.fingerprint = ruleFingerprint(cfg)
 	return e, nil
 }
 
@@ -418,7 +423,7 @@ func ruleFingerprint(cfg Config) uint64 {
 	if lm, ok := cfg.LM.(nnLM); ok {
 		fmt.Fprintf(h, "model=%p;", lm.m)
 	}
-	fmt.Fprintf(h, "vocab=%d;mode=%d;", cfg.Tok.Size(), cfg.Mode)
+	fmt.Fprintf(h, "pack=%s;vocab=%d;mode=%d;", cfg.PackName, cfg.Tok.Size(), cfg.Mode)
 	for _, f := range cfg.Schema.Fields() {
 		fmt.Fprintf(h, "f=%s:%d:%d:%d:%d;", f.Name, f.Kind, f.Lo, f.Hi, f.Len)
 	}
@@ -437,9 +442,6 @@ func ruleFingerprint(cfg Config) uint64 {
 // pooled clones are updated in place. Call before decoding begins.
 func (e *Engine) SetPrefixCache(c *prefixcache.Cache) {
 	e.cfg.PrefixCache = c
-	if c != nil && e.fingerprint == 0 {
-		e.fingerprint = ruleFingerprint(e.cfg)
-	}
 	e.poolMu.Lock()
 	for _, cl := range e.pool {
 		cl.cfg.PrefixCache = c
@@ -498,6 +500,17 @@ func (e *Engine) Clone() (*Engine, error) { return newEngine(e.cfg, e.ruleFormul
 
 // Rules returns the engine's rule set (may be nil).
 func (e *Engine) Rules() *rules.RuleSet { return e.cfg.Rules }
+
+// Fingerprint returns the engine's rule-epoch fingerprint. Two engines share
+// a fingerprint iff their pack name, model identity, vocabulary, schema,
+// grammar, and rule text all coincide; the pack registry exposes it as the
+// pack epoch and the prefix cache uses it to drop stale snapshots on sight.
+func (e *Engine) Fingerprint() uint64 { return e.fingerprint }
+
+// Configuration returns a copy of the engine's config so a caller (e.g. the
+// pack registry's hot reload) can rebuild an equivalent engine with a swapped
+// rule set. Slices and pointers inside the copy are shared read-only.
+func (e *Engine) Configuration() Config { return e.cfg }
 
 // Slots returns the output grammar.
 func (e *Engine) Slots() []Slot { return e.cfg.Slots }

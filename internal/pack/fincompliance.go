@@ -1,0 +1,110 @@
+package pack
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/rules"
+)
+
+// The fincompliance pack: threshold/aggregation compliance rules in the
+// shape of "Neuro-Symbolic Compliance" (PAPERS.md) — per-category limits, a
+// sum-coupled portfolio cap, and conditional escalation thresholds, enforced
+// during generation instead of audited after it.
+//
+// A record is one portfolio snapshot over FinCategories exposure categories:
+//
+//	TotalExposure,RiskScore,Escalate | Exposure[0],..,Exposure[3]
+const (
+	FinComplianceName = "fincompliance"
+	// FinCategories is the number of exposure categories.
+	FinCategories = 4
+	// FinCategoryMax is the per-category exposure limit (CATMAX).
+	FinCategoryMax = 80
+	// FinPortfolioCap is the portfolio-wide exposure cap (CAP).
+	FinPortfolioCap = 300
+)
+
+// FinComplianceRules is the pack's rule file.
+//
+//   - catlimit: no single category exceeds CATMAX.
+//   - conserve: the reported total is the sum of the categories
+//     (an aggregation constraint no grammar mask can track).
+//   - cap: portfolio-wide exposure cap.
+//   - riskesc:  a high risk score forces the escalation flag.
+//   - concesc:  a concentration spike in any category forces it too.
+const FinComplianceRules = `
+const CATMAX = 80
+const CAP = 300
+rule catlimit: forall t in 0..3: Exposure[t] <= CATMAX
+rule conserve: sum(Exposure) == TotalExposure
+rule cap:      TotalExposure <= CAP
+rule riskesc:  RiskScore >= 70 -> Escalate >= 1
+rule concesc:  max(Exposure) >= 75 -> Escalate >= 1
+`
+
+// FinComplianceSchema returns the pack's schema. TotalExposure's domain
+// upper bound is the arithmetic maximum (4×80); the tighter portfolio cap
+// lives in the rules, where a reload can move it.
+func FinComplianceSchema() *rules.Schema {
+	return rules.MustSchema(
+		rules.Field{Name: "TotalExposure", Kind: rules.Scalar, Lo: 0, Hi: FinCategories * FinCategoryMax},
+		rules.Field{Name: "RiskScore", Kind: rules.Scalar, Lo: 0, Hi: 100},
+		rules.Field{Name: "Escalate", Kind: rules.Scalar, Lo: 0, Hi: 1},
+		rules.Field{Name: "Exposure", Kind: rules.Vector, Len: FinCategories, Lo: 0, Hi: 100},
+	)
+}
+
+// FinComplianceDefinition bundles the fincompliance domain. lm may be nil
+// (UniformLM); the demo/bench layers train a tiny transformer on the
+// example corpus (TrainLM).
+func FinComplianceDefinition(lm core.LM) Definition {
+	return Definition{
+		Name: FinComplianceName, Version: "v1",
+		Schema:   FinComplianceSchema(),
+		RuleText: FinComplianceRules,
+		Alphabet: "0123456789,|\n",
+		Grammar: []GrammarField{
+			{Field: "TotalExposure", After: ','},
+			{Field: "RiskScore", After: ','},
+			{Field: "Escalate", After: '|'},
+			{Field: "Exposure", ElemSep: ',', After: '\n'},
+		},
+		PromptFields: []string{"TotalExposure", "RiskScore", "Escalate"},
+		Examples:     FinComplianceExamples(200, 23),
+		LM:           lm,
+		Mode:         core.LeJIT,
+		Temperature:  0.9,
+	}
+}
+
+// FinComplianceExamples generates n rule-compliant portfolio snapshots
+// deterministically from seed. Per-category draws stay at or below 72 —
+// under both the shipped CATMAX (80) and the tightened one the benchmark
+// hot-reloads (75) — so the same prompts remain feasible across a reload;
+// totals stay under the cap by rejection-free construction.
+func FinComplianceExamples(n int, seed int64) []rules.Record {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]rules.Record, 0, n)
+	for i := 0; i < n; i++ {
+		exp := make([]int64, FinCategories)
+		var total, maxE int64
+		for t := range exp {
+			exp[t] = rng.Int63n(73)
+			total += exp[t]
+			if exp[t] > maxE {
+				maxE = exp[t]
+			}
+		}
+		risk := rng.Int63n(101)
+		var esc int64
+		if risk >= 70 || maxE >= 75 || rng.Intn(3) == 0 {
+			esc = 1
+		}
+		out = append(out, rules.Record{
+			"TotalExposure": {total}, "RiskScore": {risk}, "Escalate": {esc},
+			"Exposure": exp,
+		})
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+package pack
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// FuzzLoadPack holds the loader to its contract: arbitrary manifest and
+// rule-file bytes either produce a working pack or error cleanly — never a
+// panic, and never a bundle that poisons a registry. Solver budgets are
+// pinned tight so adversarial-but-satisfiable rule sets cannot stall the
+// fuzzer in the satisfiability pre-check.
+func FuzzLoadPack(f *testing.F) {
+	f.Add(routerManifest, RouterCfgRules)
+	f.Add(routerManifest, "")
+	f.Add(routerManifest, "rule x: Nope >= 1")
+	f.Add("pack p\nalphabet \"0123456789,\\n\"\nscalar X 0 9\n", "rule lo: X >= 1")
+	f.Add("pack p\nalphabet \"0123456789,\\n\"\nvector V 3 0 9\nprompt V\n", "rule s: sum(V) <= 20")
+	f.Add("pack p\nalphabet \"abc\"\nscalar X 0 9\n", "")        // digits missing from alphabet
+	f.Add("pack p\nalphabet \"0123456789\"\nscalar X 0 9\n", "") // separator missing
+	f.Add("wat\n\x00\xff", "const = =")
+	f.Fuzz(func(t *testing.T, manifest, ruleSrc string) {
+		def, err := ParseManifest(manifest)
+		if err != nil {
+			return
+		}
+		if len(ruleSrc) > maxRuleSourceBytes {
+			return
+		}
+		def.RuleText = ruleSrc
+		def.MaxNodes = 10_000
+		def.SolverTimeout = 50 * time.Millisecond
+		pk, err := compile(*def, true)
+		if err != nil {
+			return
+		}
+		// A pack that compiled must be registrable and introspectable.
+		r := NewRegistry(0)
+		if err := r.Register(pk); err != nil {
+			t.Fatalf("compiled pack failed to register: %v", err)
+		}
+		got, ok := r.Get(pk.Def.Name)
+		if !ok || got.Engine == nil || got.Schema == nil || got.Tok == nil {
+			t.Fatalf("registered pack came back torn: %+v", got)
+		}
+		for _, info := range r.List() {
+			if info.Name == "" || info.Epoch == 0 {
+				t.Fatalf("bad Info from fuzzed pack: %+v", info)
+			}
+		}
+		// Reloading the same rule text must succeed (same inputs, same path)
+		// unless the budget-limited sat pre-check flakes — an error is
+		// acceptable there only if it leaves the old bundle serving.
+		if _, err := r.Reload(pk.Def.Name, ruleSrc); err != nil {
+			if cur, ok := r.Get(pk.Def.Name); !ok || cur != got {
+				t.Fatalf("failed reload did not keep the old bundle: %v", err)
+			}
+		}
+		_ = strings.TrimSpace(ruleSrc)
+	})
+}

@@ -1,0 +1,225 @@
+package pack
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/prefixcache"
+	"repro/internal/rules"
+)
+
+// maxRuleSourceBytes caps a reloaded (or loaded) rule file; a multi-megabyte
+// "rule set" is an attack, not a policy.
+const maxRuleSourceBytes = 64 << 10
+
+// Registry holds the served packs. Reads (Get, per-request resolution) are
+// lock-free after an RLock'd name lookup: each entry publishes its current
+// Compiled through an atomic pointer, so a hot reload swaps the whole
+// immutable bundle at once — a request admitted before the swap keeps
+// decoding on the engine it resolved, a request admitted after sees only the
+// new one, and nobody observes a torn mix.
+type Registry struct {
+	// cacheBytes is the per-pack prefix-cache budget (0 disables caching).
+	// Each pack owns its cache: snapshots never migrate across packs, and
+	// the cache survives reloads — the new epoch simply invalidates stale
+	// entries on sight (prefixcache drop-on-sight).
+	cacheBytes int64
+
+	mu      sync.RWMutex
+	entries map[string]*entry
+}
+
+type entry struct {
+	cur   atomic.Pointer[Compiled]
+	cache *prefixcache.Cache
+	// reloadMu serializes reloads of this pack so two concurrent reloads
+	// cannot interleave their compile-then-swap sequences.
+	reloadMu   sync.Mutex
+	reloads    atomic.Uint64
+	reloadErrs atomic.Uint64
+}
+
+// NewRegistry builds an empty registry. prefixCacheBytes is the per-pack
+// prefix-cache budget in bytes (0 disables caching).
+func NewRegistry(prefixCacheBytes int64) *Registry {
+	return &Registry{cacheBytes: prefixCacheBytes, entries: map[string]*entry{}}
+}
+
+// Register adds a compiled pack under its definition name. When the registry
+// was built with a cache budget, the pack gets its own prefix cache,
+// attached to the engine (and inherited by every engine a reload builds).
+func (r *Registry) Register(c *Compiled) error {
+	if c == nil || c.Engine == nil {
+		return fmt.Errorf("pack: registering a nil pack")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	name := c.Def.Name
+	if _, dup := r.entries[name]; dup {
+		return fmt.Errorf("pack: %q already registered", name)
+	}
+	e := &entry{}
+	if r.cacheBytes > 0 {
+		e.cache = prefixcache.New(r.cacheBytes)
+		c.Engine.SetPrefixCache(e.cache)
+	}
+	e.cur.Store(c)
+	r.entries[name] = e
+	return nil
+}
+
+// Get returns the current serving form of the named pack. The returned
+// bundle is immutable; callers decode on it even if a reload swaps the
+// registry entry mid-flight.
+func (r *Registry) Get(name string) (*Compiled, bool) {
+	r.mu.RLock()
+	e := r.entries[name]
+	r.mu.RUnlock()
+	if e == nil {
+		return nil, false
+	}
+	return e.cur.Load(), true
+}
+
+// Names returns the registered pack names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.entries))
+	for n := range r.entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len reports the number of registered packs.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}
+
+// Info is one pack's listing row (/v1/packs).
+type Info struct {
+	Name         string
+	Version      string
+	Epoch        uint64
+	Generation   int
+	Rules        int
+	Fields       int
+	Reloads      uint64
+	ReloadErrors uint64
+}
+
+// List describes every registered pack, sorted by name.
+func (r *Registry) List() []Info {
+	names := r.Names()
+	out := make([]Info, 0, len(names))
+	for _, n := range names {
+		r.mu.RLock()
+		e := r.entries[n]
+		r.mu.RUnlock()
+		c := e.cur.Load()
+		inf := Info{
+			Name: n, Version: c.Def.Version, Epoch: c.Epoch, Generation: c.Generation,
+			Reloads: e.reloads.Load(), ReloadErrors: e.reloadErrs.Load(),
+		}
+		if c.Rules != nil {
+			inf.Rules = c.Rules.Len()
+		}
+		if c.Schema != nil {
+			inf.Fields = len(c.Schema.Fields())
+		}
+		out = append(out, inf)
+	}
+	return out
+}
+
+// ErrUnknownPack reports a name that resolves to no registered pack.
+type ErrUnknownPack struct{ Name string }
+
+func (e ErrUnknownPack) Error() string { return fmt.Sprintf("pack: unknown pack %q", e.Name) }
+
+// Reload parses ruleText against the pack's schema, builds a fresh engine
+// from the current one's configuration (full rule recompilation plus the
+// satisfiability pre-check, all off the serving hot path), and atomically
+// swaps it in. The schema, grammar, tokenizer, and LM are fixed for the
+// pack's lifetime — only the rules swap, which is what makes in-flight
+// requests on the old engine sound. An empty ruleText clears the rules.
+// On any error the current bundle keeps serving untouched.
+func (r *Registry) Reload(name, ruleText string) (*Compiled, error) {
+	r.mu.RLock()
+	e := r.entries[name]
+	r.mu.RUnlock()
+	if e == nil {
+		return nil, ErrUnknownPack{Name: name}
+	}
+	e.reloadMu.Lock()
+	defer e.reloadMu.Unlock()
+	next, err := reloadCompile(e.cur.Load(), ruleText)
+	if err != nil {
+		e.reloadErrs.Add(1)
+		return nil, fmt.Errorf("pack: reloading %q: %w", name, err)
+	}
+	e.cur.Store(next)
+	e.reloads.Add(1)
+	return next, nil
+}
+
+// reloadCompile builds the post-reload bundle without touching the current
+// one. The new engine shares the LM weights and — via the copied config —
+// the pack's prefix cache; its fingerprint differs from the old engine's
+// exactly when the rule text changed, so stale cached snapshots die on
+// lookup rather than by sweep.
+func reloadCompile(cur *Compiled, ruleText string) (*Compiled, error) {
+	if len(ruleText) > maxRuleSourceBytes {
+		return nil, fmt.Errorf("rule source is %d bytes (max %d)", len(ruleText), maxRuleSourceBytes)
+	}
+	var rs *rules.RuleSet
+	if strings.TrimSpace(ruleText) != "" {
+		var err error
+		rs, err = rules.ParseRuleSet(ruleText, cur.Schema)
+		if err != nil {
+			return nil, err
+		}
+	}
+	cfg := cur.Engine.Configuration()
+	cfg.Rules = rs
+	eng, err := core.NewEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	def := cur.Def
+	def.RuleText = ruleText
+	return &Compiled{
+		Def: def, Tok: cur.Tok, Schema: cur.Schema, Rules: rs,
+		Engine: eng, Epoch: eng.Fingerprint(), Generation: cur.Generation + 1,
+	}, nil
+}
+
+// RuntimeStats is one pack's operational counters for the metrics layer.
+type RuntimeStats struct {
+	Prefix       prefixcache.Stats
+	Reloads      uint64
+	ReloadErrors uint64
+}
+
+// Stats snapshots every pack's runtime counters, keyed by name.
+func (r *Registry) Stats() map[string]RuntimeStats {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]RuntimeStats, len(r.entries))
+	for n, e := range r.entries {
+		st := RuntimeStats{Reloads: e.reloads.Load(), ReloadErrors: e.reloadErrs.Load()}
+		if e.cache != nil {
+			st.Prefix = e.cache.Stats()
+		}
+		out[n] = st
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package pack
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/rules"
+)
+
+// The routercfg pack: ACL/route-map synthesis with structural correctness
+// rules, grounded in "What do LLMs need to Synthesize Correct Router
+// Configurations?" (PAPERS.md) — the failure modes LLMs exhibit there
+// (dangling ACL references, out-of-range prefix lengths, shadowed entries)
+// become QF-LIA rules the decoder enforces just in time.
+//
+// A record is one route-map of RouterEntries entries over a device that
+// defines NumAcls access lists:
+//
+//	NumAcls | RefAcl[0];..;RefAcl[3] | PrefixLen[0];..;PrefixLen[3] | Action[0];..;Action[3]
+//
+// RefAcl t names the ACL entry t matches on (0 = entry unused), PrefixLen t
+// is the match prefix length, and Action t is 0 deny / 1 permit.
+const (
+	RouterCfgName = "routercfg"
+	// RouterEntries is the route-map length R.
+	RouterEntries = 4
+	// RouterMaxAcls bounds how many ACLs a device defines.
+	RouterMaxAcls = 6
+)
+
+// RouterCfgRules is the pack's rule file.
+//
+//   - defined:  every used entry references an ACL the device defines
+//     (no dangling references).
+//   - minlen/maxlen: prefix lengths of used entries stay in [8,30] — /31
+//     and /32 host routes and too-broad matches are rejected.
+//   - noshadow: a deny entry immediately before a permit entry must be
+//     strictly more specific, or it shadows the permit.
+//   - inactive: unused entries are all-zero, so every compliant route-map
+//     has one canonical text form.
+const RouterCfgRules = `
+const R = 4
+rule defined:  forall t in 0..R-1: RefAcl[t] <= NumAcls
+rule minlen:   forall t in 0..R-1: RefAcl[t] >= 1 -> PrefixLen[t] >= 8
+rule maxlen:   forall t in 0..R-1: PrefixLen[t] <= 30
+rule noshadow: forall t in 0..R-2: RefAcl[t] >= 1 and Action[t] <= 0 and Action[t+1] >= 1 -> PrefixLen[t] >= PrefixLen[t+1] + 1
+rule inactive: forall t in 0..R-1: RefAcl[t] <= 0 -> PrefixLen[t] <= 0 and Action[t] <= 0
+`
+
+// RouterCfgSchema returns the pack's schema.
+func RouterCfgSchema() *rules.Schema {
+	return rules.MustSchema(
+		rules.Field{Name: "NumAcls", Kind: rules.Scalar, Lo: 1, Hi: RouterMaxAcls},
+		rules.Field{Name: "RefAcl", Kind: rules.Vector, Len: RouterEntries, Lo: 0, Hi: RouterMaxAcls},
+		rules.Field{Name: "PrefixLen", Kind: rules.Vector, Len: RouterEntries, Lo: 0, Hi: 32},
+		rules.Field{Name: "Action", Kind: rules.Vector, Len: RouterEntries, Lo: 0, Hi: 1},
+	)
+}
+
+// RouterCfgDefinition bundles the routercfg domain. lm may be nil
+// (UniformLM) — the demo and bench layers train a tiny transformer on the
+// example corpus instead (TrainLM).
+func RouterCfgDefinition(lm core.LM) Definition {
+	return Definition{
+		Name: RouterCfgName, Version: "v1",
+		Schema:   RouterCfgSchema(),
+		RuleText: RouterCfgRules,
+		Alphabet: "0123456789;|\n",
+		Grammar: []GrammarField{
+			{Field: "NumAcls", After: '|'},
+			{Field: "RefAcl", ElemSep: ';', After: '|'},
+			{Field: "PrefixLen", ElemSep: ';', After: '|'},
+			{Field: "Action", ElemSep: ';', After: '\n'},
+		},
+		PromptFields: []string{"NumAcls"},
+		Examples:     RouterCfgExamples(200, 11),
+		LM:           lm,
+		Mode:         core.LeJIT,
+		Temperature:  0.9,
+	}
+}
+
+// RouterCfgExamples generates n rule-compliant route-maps deterministically
+// from seed. Compliance is by construction: used entries get strictly
+// decreasing prefix lengths (which satisfies noshadow for every action
+// pattern), references stay within NumAcls, and unused entries are zeroed.
+func RouterCfgExamples(n int, seed int64) []rules.Record {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]rules.Record, 0, n)
+	for i := 0; i < n; i++ {
+		numAcls := int64(1 + rng.Intn(RouterMaxAcls))
+		used := 1 + rng.Intn(RouterEntries)
+		ref := make([]int64, RouterEntries)
+		plen := make([]int64, RouterEntries)
+		act := make([]int64, RouterEntries)
+		// Strictly decreasing lengths: walk down from a start in [25,30]
+		// with gaps of 1..4, so after at most 3 gaps the length is still
+		// ≥ 13 — comfortably inside [8,30].
+		l := int64(30 - rng.Intn(6))
+		for t := 0; t < used; t++ {
+			ref[t] = 1 + rng.Int63n(numAcls)
+			plen[t] = l
+			act[t] = int64(rng.Intn(2))
+			l -= int64(1 + rng.Intn(4))
+		}
+		out = append(out, rules.Record{
+			"NumAcls": {numAcls}, "RefAcl": ref, "PrefixLen": plen, "Action": act,
+		})
+	}
+	return out
+}

@@ -1,0 +1,46 @@
+package pack
+
+import (
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/rules"
+)
+
+// TelemetryName names the built-in datacenter-telemetry pack (the paper's
+// §2.1 domain — the behavior the system shipped with before packs existed).
+const TelemetryName = "telemetry"
+
+// TelemetryAlphabet matches vocab.Telemetry so a model trained against the
+// pre-pack tokenizer serves the pack unchanged.
+const TelemetryAlphabet = "0123456789,|:\n"
+
+// TelemetryDefinition bundles the telemetry domain as a pack: the canonical
+// schema, the telemetry text grammar, and whatever rule set the caller mined
+// or wrote. Compiling it yields an engine whose decode output is
+// bit-identical to the pre-pack construction path (core.TelemetryGrammar +
+// vocab.Telemetry) — the pack name changes only the cache epoch, never the
+// decoded bytes. TestTelemetryPackMatchesDirect holds it to that.
+func TelemetryDefinition(lm core.LM, ruleText string, temperature float64, examples []rules.Record) Definition {
+	coarse := dataset.CoarseFields()
+	grammar := make([]GrammarField, 0, len(coarse)+1)
+	for i, f := range coarse {
+		after := byte(',')
+		if i == len(coarse)-1 {
+			after = '|'
+		}
+		grammar = append(grammar, GrammarField{Field: f, After: after})
+	}
+	grammar = append(grammar, GrammarField{Field: dataset.FineField, ElemSep: ',', After: '\n'})
+	return Definition{
+		Name: TelemetryName, Version: "v1",
+		Schema:       dataset.Schema(),
+		RuleText:     ruleText,
+		Alphabet:     TelemetryAlphabet,
+		Grammar:      grammar,
+		PromptFields: coarse,
+		Examples:     examples,
+		LM:           lm,
+		Mode:         core.LeJIT,
+		Temperature:  temperature,
+	}
+}

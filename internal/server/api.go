@@ -26,6 +26,11 @@ type DecodeRequest struct {
 	// Known holds the prompt fields for imputation (a grammar prefix, e.g.
 	// the coarse counters). It must be absent for /v1/generate.
 	Known rules.Record `json:"known,omitempty"`
+	// Pack selects the domain pack (schema + rules + decode shape) this
+	// request decodes under. Empty means the server's default pack. Known is
+	// validated against the selected pack's schema, so validation happens
+	// after pack resolution, not at parse time.
+	Pack string `json:"pack,omitempty"`
 	// Mode selects the decode strategy: lejit (default), vanilla, rejection,
 	// or posthoc.
 	Mode string `json:"mode,omitempty"`
@@ -49,6 +54,9 @@ type DecodeRequest struct {
 // CheckRequest is the body of POST /v1/check.
 type CheckRequest struct {
 	Record rules.Record `json:"record"`
+	// Pack selects whose rules the record is checked against (empty means
+	// the server's default pack).
+	Pack string `json:"pack,omitempty"`
 }
 
 // StatsJSON is the wire form of core.Stats (the fields operators care about).
@@ -75,6 +83,45 @@ type DecodeResponse struct {
 	// BatchSize reports how many requests shared this record's
 	// core.DecodeRequests call (serving observability).
 	BatchSize int `json:"batch_size"`
+	// Pack names the domain pack that decoded this request; Epoch is that
+	// pack's rule-epoch fingerprint (hex) at admission time, so a caller can
+	// tell which rule generation produced the record across hot reloads.
+	Pack  string `json:"pack,omitempty"`
+	Epoch string `json:"epoch,omitempty"`
+}
+
+// PackInfoJSON is one entry of a GET /v1/packs response.
+type PackInfoJSON struct {
+	Name       string `json:"name"`
+	Version    string `json:"version"`
+	Epoch      string `json:"epoch"` // rule-epoch fingerprint, hex
+	Generation int    `json:"generation"`
+	Rules      int    `json:"rules"`
+	Fields     int    `json:"fields"`
+	Reloads    uint64 `json:"reloads"`
+	ReloadErrs uint64 `json:"reload_errors"`
+	Default    bool   `json:"default,omitempty"`
+}
+
+// PacksResponse is the body of GET /v1/packs.
+type PacksResponse struct {
+	Default string         `json:"default"`
+	Packs   []PackInfoJSON `json:"packs"`
+}
+
+// ReloadRequest is the body of POST /v1/packs/reload: replace one pack's
+// rule set from source text, recompiling off the hot path.
+type ReloadRequest struct {
+	Pack  string `json:"pack"`
+	Rules string `json:"rules"`
+}
+
+// ReloadResponse reports the swapped-in bundle.
+type ReloadResponse struct {
+	Pack       string `json:"pack"`
+	Epoch      string `json:"epoch"`
+	Generation int    `json:"generation"`
+	Rules      int    `json:"rules"`
 }
 
 // CheckResponse is the body of a /v1/check response.
@@ -140,6 +187,23 @@ func ParseDecodeRequest(r io.Reader, schema *rules.Schema, allowKnown bool) (*De
 		if err := validateRecord(req.Known, schema); err != nil {
 			return nil, err
 		}
+	}
+	return &req, nil
+}
+
+// ParseReloadRequest decodes and validates one /v1/packs/reload body.
+func ParseReloadRequest(r io.Reader) (*ReloadRequest, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var req ReloadRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, errBadRequest{fmt.Errorf("invalid JSON: %w", err)}
+	}
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		return nil, badRequestf("trailing content after JSON body")
+	}
+	if req.Pack == "" {
+		return nil, badRequestf("pack is required")
 	}
 	return &req, nil
 }

@@ -234,7 +234,7 @@ func TestServeEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	text := string(data)
-	if !strings.Contains(text, fmt.Sprintf(`lejitd_requests_total{route="impute",code="200"} %d`, n)) {
+	if !strings.Contains(text, fmt.Sprintf(`lejitd_requests_total{route="impute",pack="default",code="200"} %d`, n)) {
 		t.Errorf("metrics do not report %d impute 200s:\n%s", n, text)
 	}
 	snap := s.Metrics().Snapshot()

@@ -232,9 +232,11 @@ func TestExpiredDeadlineJob(t *testing.T) {
 	s := newTestServer(t, nil)
 	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
 	defer cancel()
+	pk, _ := s.packs.Get(s.defaultPack)
 	j := &job{
 		ctx:    ctx,
 		prompt: rules.Record{"TotalIngress": {100}, "Congestion": {0}},
+		pk:     pk,
 		seed:   1,
 		start:  time.Now(),
 		resp:   make(chan jobResult, 1),
@@ -327,7 +329,8 @@ func TestWriteDecodeResultMapping(t *testing.T) {
 	}
 	for _, tc := range cases {
 		rec := httptest.NewRecorder()
-		code := s.writeDecodeResult(rec, jobResult{err: tc.err})
+		pk, _ := s.packs.Get(s.defaultPack)
+		code := s.writeDecodeResult(rec, &job{pk: pk}, jobResult{err: tc.err})
 		if code != tc.wantCode {
 			t.Errorf("%s: code %d, want %d", tc.name, code, tc.wantCode)
 		}
@@ -387,9 +390,11 @@ func TestBatcherRestartsAfterPanic(t *testing.T) {
 
 	poisoned := make(chan jobResult, 1)
 	close(poisoned)
+	pk, _ := s.packs.Get(s.defaultPack)
 	s.queue <- &job{
 		ctx:    context.Background(),
 		prompt: rules.Record{"TotalIngress": {100}, "Congestion": {0}},
+		pk:     pk,
 		seed:   1,
 		start:  time.Now(),
 		resp:   poisoned, // delivery panics: send on closed channel

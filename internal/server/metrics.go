@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"sync"
 
+	"repro/internal/pack"
 	"repro/internal/prefixcache"
 )
 
@@ -50,13 +51,23 @@ func (h *histogram) write(w io.Writer, name string) {
 	fmt.Fprintf(w, "%s_count %d\n", name, h.count)
 }
 
+// packCounters are the decode counters kept per domain pack.
+type packCounters struct {
+	tokens        uint64
+	solverChecks  uint64
+	specAccepted  uint64
+	specRollbacks uint64
+}
+
 // Metrics is the daemon's hand-rolled Prometheus registry: a handful of
 // counters, one gauge, and two histograms — enough for dashboards and the
-// acceptance tests without pulling in a client library.
+// acceptance tests without pulling in a client library. Request and decode
+// counters are labeled by domain pack; requests that fail before pack
+// resolution (parse errors, unknown pack) carry an empty pack label.
 type Metrics struct {
 	mu sync.Mutex
-	// requests[route][code] counts completed HTTP requests.
-	requests map[string]map[int]uint64
+	// requests[route][pack][code] counts completed HTTP requests.
+	requests map[string]map[string]map[int]uint64
 	rejected uint64 // 429 backpressure rejections (also in requests)
 	timeouts uint64 // requests that hit their deadline
 	batches  uint64 // core.DecodeRequests calls issued by the batcher
@@ -72,6 +83,9 @@ type Metrics struct {
 	specAccepted  uint64
 	specRollbacks uint64
 
+	// perPack splits the decode counters above by domain pack.
+	perPack map[string]*packCounters
+
 	// Fault-isolation counters (DESIGN.md §10): every failed record of a
 	// dispatched batch retires one lane; the two sub-causes worth alerting
 	// on — solver budget exhaustion and recovered panics — are also counted
@@ -82,27 +96,35 @@ type Metrics struct {
 	lanesRetired    uint64
 	batcherRestarts uint64
 
-	queueDepth  func() int               // sampled at scrape time
-	prefixStats func() prefixcache.Stats // nil when the prefix cache is disabled
+	queueDepth func() int // sampled at scrape time
+	// packStats samples per-pack runtime state (prefix-cache counters,
+	// reload counters) from the pack registry at scrape time. May be nil.
+	packStats func() map[string]pack.RuntimeStats
 }
 
-func newMetrics(queueDepth func() int, prefixStats func() prefixcache.Stats) *Metrics {
+func newMetrics(queueDepth func() int, packStats func() map[string]pack.RuntimeStats) *Metrics {
 	return &Metrics{
-		requests:    map[string]map[int]uint64{},
-		batchSize:   newHistogram([]float64{1, 2, 4, 8, 16, 32, 64}),
-		latency:     newHistogram([]float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}),
-		queueDepth:  queueDepth,
-		prefixStats: prefixStats,
+		requests:   map[string]map[string]map[int]uint64{},
+		perPack:    map[string]*packCounters{},
+		batchSize:  newHistogram([]float64{1, 2, 4, 8, 16, 32, 64}),
+		latency:    newHistogram([]float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}),
+		queueDepth: queueDepth,
+		packStats:  packStats,
 	}
 }
 
-func (m *Metrics) countRequest(route string, code int) {
+func (m *Metrics) countRequest(route, pk string, code int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	byCode := m.requests[route]
+	byPack := m.requests[route]
+	if byPack == nil {
+		byPack = map[string]map[int]uint64{}
+		m.requests[route] = byPack
+	}
+	byCode := byPack[pk]
 	if byCode == nil {
 		byCode = map[int]uint64{}
-		m.requests[route] = byCode
+		byPack[pk] = byCode
 	}
 	byCode[code]++
 	if code == 429 {
@@ -129,12 +151,21 @@ func (m *Metrics) observeLatency(seconds float64) {
 	m.mu.Unlock()
 }
 
-func (m *Metrics) countDecode(tokens int, solverChecks uint64, specAccepted, specRollbacks int) {
+func (m *Metrics) countDecode(pk string, tokens int, solverChecks uint64, specAccepted, specRollbacks int) {
 	m.mu.Lock()
 	m.tokens += uint64(tokens)
 	m.solverChecks += solverChecks
 	m.specAccepted += uint64(specAccepted)
 	m.specRollbacks += uint64(specRollbacks)
+	pc := m.perPack[pk]
+	if pc == nil {
+		pc = &packCounters{}
+		m.perPack[pk] = pc
+	}
+	pc.tokens += uint64(tokens)
+	pc.solverChecks += solverChecks
+	pc.specAccepted += uint64(specAccepted)
+	pc.specRollbacks += uint64(specRollbacks)
 	m.mu.Unlock()
 }
 
@@ -164,10 +195,26 @@ func (m *Metrics) budgetTrips() uint64 {
 	return m.budgetExhausted
 }
 
+// PackSnapshot is one pack's slice of the counters.
+type PackSnapshot struct {
+	Requests map[string]map[int]uint64 // route → code
+
+	Tokens             uint64
+	SolverChecks       uint64
+	SpecAcceptedTokens uint64
+	SpecRollbacks      uint64
+
+	// Prefix and the reload counters are sampled from the pack registry.
+	Prefix       prefixcache.Stats
+	Reloads      uint64
+	ReloadErrors uint64
+}
+
 // Snapshot is a programmatic view of the counters, for tests and the serve
 // benchmark (which would otherwise scrape and parse the text endpoint).
+// Top-level fields aggregate over packs; Packs splits them out.
 type Snapshot struct {
-	Requests      map[string]map[int]uint64
+	Requests      map[string]map[int]uint64 // route → code, summed over packs
 	Rejected      uint64
 	Timeouts      uint64
 	Batches       uint64
@@ -185,9 +232,13 @@ type Snapshot struct {
 	LanesRetired    uint64
 	BatcherRestarts uint64
 
-	// Prefix is the cross-request prefix cache's counters at snapshot time;
-	// the zero value when the cache is disabled.
+	// Prefix sums the per-pack prefix-cache counters at snapshot time; the
+	// zero value when no pack has a cache.
 	Prefix prefixcache.Stats
+
+	// Packs holds the per-pack split (requests, decode counters, prefix
+	// cache, reloads), keyed by pack name.
+	Packs map[string]PackSnapshot
 }
 
 // Snapshot returns a copy of the current counter state.
@@ -213,19 +264,56 @@ func (m *Metrics) Snapshot() Snapshot {
 		PanicsRecovered: m.panicsRecovered,
 		LanesRetired:    m.lanesRetired,
 		BatcherRestarts: m.batcherRestarts,
+
+		Packs: map[string]PackSnapshot{},
 	}
-	for route, byCode := range m.requests {
-		cp := make(map[int]uint64, len(byCode))
-		for c, n := range byCode {
-			cp[c] = n
+	packSnap := func(pk string) PackSnapshot {
+		ps, ok := s.Packs[pk]
+		if !ok {
+			ps = PackSnapshot{Requests: map[string]map[int]uint64{}}
 		}
-		s.Requests[route] = cp
+		return ps
+	}
+	for route, byPack := range m.requests {
+		agg := make(map[int]uint64)
+		for pk, byCode := range byPack {
+			ps := packSnap(pk)
+			cp := make(map[int]uint64, len(byCode))
+			for c, n := range byCode {
+				cp[c] = n
+				agg[c] += n
+			}
+			ps.Requests[route] = cp
+			s.Packs[pk] = ps
+		}
+		s.Requests[route] = agg
+	}
+	for pk, pc := range m.perPack {
+		ps := packSnap(pk)
+		ps.Tokens = pc.tokens
+		ps.SolverChecks = pc.solverChecks
+		ps.SpecAcceptedTokens = pc.specAccepted
+		ps.SpecRollbacks = pc.specRollbacks
+		s.Packs[pk] = ps
 	}
 	if m.queueDepth != nil {
 		s.QueueDepth = m.queueDepth()
 	}
-	if m.prefixStats != nil {
-		s.Prefix = m.prefixStats()
+	if m.packStats != nil {
+		for pk, rt := range m.packStats() {
+			ps := packSnap(pk)
+			ps.Prefix = rt.Prefix
+			ps.Reloads = rt.Reloads
+			ps.ReloadErrors = rt.ReloadErrors
+			s.Packs[pk] = ps
+
+			s.Prefix.Hits += rt.Prefix.Hits
+			s.Prefix.Misses += rt.Prefix.Misses
+			s.Prefix.Evictions += rt.Prefix.Evictions
+			s.Prefix.Inserts += rt.Prefix.Inserts
+			s.Prefix.BytesResident += rt.Prefix.BytesResident
+			s.Prefix.Entries += rt.Prefix.Entries
+		}
 	}
 	return s
 }
@@ -236,7 +324,7 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
-	fmt.Fprintln(w, "# HELP lejitd_requests_total Completed HTTP requests by route and status code.")
+	fmt.Fprintln(w, "# HELP lejitd_requests_total Completed HTTP requests by route, domain pack, and status code.")
 	fmt.Fprintln(w, "# TYPE lejitd_requests_total counter")
 	routes := make([]string, 0, len(m.requests))
 	for r := range m.requests {
@@ -244,13 +332,20 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	}
 	sort.Strings(routes)
 	for _, r := range routes {
-		codes := make([]int, 0, len(m.requests[r]))
-		for c := range m.requests[r] {
-			codes = append(codes, c)
+		packs := make([]string, 0, len(m.requests[r]))
+		for pk := range m.requests[r] {
+			packs = append(packs, pk)
 		}
-		sort.Ints(codes)
-		for _, c := range codes {
-			fmt.Fprintf(w, "lejitd_requests_total{route=%q,code=\"%d\"} %d\n", r, c, m.requests[r][c])
+		sort.Strings(packs)
+		for _, pk := range packs {
+			codes := make([]int, 0, len(m.requests[r][pk]))
+			for c := range m.requests[r][pk] {
+				codes = append(codes, c)
+			}
+			sort.Ints(codes)
+			for _, c := range codes {
+				fmt.Fprintf(w, "lejitd_requests_total{route=%q,pack=%q,code=\"%d\"} %d\n", r, pk, c, m.requests[r][pk][c])
+			}
 		}
 	}
 
@@ -280,43 +375,85 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintln(w, "# TYPE lejitd_request_duration_seconds histogram")
 	m.latency.write(w, "lejitd_request_duration_seconds")
 
-	fmt.Fprintln(w, "# HELP lejitd_tokens_total Tokens decoded for served requests.")
+	packNames := make([]string, 0, len(m.perPack))
+	for pk := range m.perPack {
+		packNames = append(packNames, pk)
+	}
+	sort.Strings(packNames)
+
+	fmt.Fprintln(w, "# HELP lejitd_tokens_total Tokens decoded for served requests, by domain pack.")
 	fmt.Fprintln(w, "# TYPE lejitd_tokens_total counter")
-	fmt.Fprintf(w, "lejitd_tokens_total %d\n", m.tokens)
+	for _, pk := range packNames {
+		fmt.Fprintf(w, "lejitd_tokens_total{pack=%q} %d\n", pk, m.perPack[pk].tokens)
+	}
 
-	fmt.Fprintln(w, "# HELP lejitd_solver_checks_total SMT solver checks attributable to served requests.")
+	fmt.Fprintln(w, "# HELP lejitd_solver_checks_total SMT solver checks attributable to served requests, by domain pack.")
 	fmt.Fprintln(w, "# TYPE lejitd_solver_checks_total counter")
-	fmt.Fprintf(w, "lejitd_solver_checks_total %d\n", m.solverChecks)
+	for _, pk := range packNames {
+		fmt.Fprintf(w, "lejitd_solver_checks_total{pack=%q} %d\n", pk, m.perPack[pk].solverChecks)
+	}
 
-	fmt.Fprintln(w, "# HELP lejitd_speculation_accepted_tokens_total Tokens committed through accepted speculative lookahead windows.")
+	fmt.Fprintln(w, "# HELP lejitd_speculation_accepted_tokens_total Tokens committed through accepted speculative lookahead windows, by domain pack.")
 	fmt.Fprintln(w, "# TYPE lejitd_speculation_accepted_tokens_total counter")
-	fmt.Fprintf(w, "lejitd_speculation_accepted_tokens_total %d\n", m.specAccepted)
+	for _, pk := range packNames {
+		fmt.Fprintf(w, "lejitd_speculation_accepted_tokens_total{pack=%q} %d\n", pk, m.perPack[pk].specAccepted)
+	}
 
-	fmt.Fprintln(w, "# HELP lejitd_speculation_rollbacks_total Speculative windows rolled back after suffix validation failed.")
+	fmt.Fprintln(w, "# HELP lejitd_speculation_rollbacks_total Speculative windows rolled back after suffix validation failed, by domain pack.")
 	fmt.Fprintln(w, "# TYPE lejitd_speculation_rollbacks_total counter")
-	fmt.Fprintf(w, "lejitd_speculation_rollbacks_total %d\n", m.specRollbacks)
+	for _, pk := range packNames {
+		fmt.Fprintf(w, "lejitd_speculation_rollbacks_total{pack=%q} %d\n", pk, m.perPack[pk].specRollbacks)
+	}
 
-	if m.prefixStats != nil {
-		ps := m.prefixStats()
-		fmt.Fprintln(w, "# HELP lejitd_prefix_hits_total Decodes warm-started from the cross-request prefix cache.")
+	if m.packStats != nil {
+		stats := m.packStats()
+		names := make([]string, 0, len(stats))
+		for pk := range stats {
+			names = append(names, pk)
+		}
+		sort.Strings(names)
+
+		fmt.Fprintln(w, "# HELP lejitd_prefix_hits_total Decodes warm-started from the cross-request prefix cache, by domain pack.")
 		fmt.Fprintln(w, "# TYPE lejitd_prefix_hits_total counter")
-		fmt.Fprintf(w, "lejitd_prefix_hits_total %d\n", ps.Hits)
+		for _, pk := range names {
+			fmt.Fprintf(w, "lejitd_prefix_hits_total{pack=%q} %d\n", pk, stats[pk].Prefix.Hits)
+		}
 
-		fmt.Fprintln(w, "# HELP lejitd_prefix_misses_total Prefix-cache lookups that found no usable snapshot.")
+		fmt.Fprintln(w, "# HELP lejitd_prefix_misses_total Prefix-cache lookups that found no usable snapshot, by domain pack.")
 		fmt.Fprintln(w, "# TYPE lejitd_prefix_misses_total counter")
-		fmt.Fprintf(w, "lejitd_prefix_misses_total %d\n", ps.Misses)
+		for _, pk := range names {
+			fmt.Fprintf(w, "lejitd_prefix_misses_total{pack=%q} %d\n", pk, stats[pk].Prefix.Misses)
+		}
 
-		fmt.Fprintln(w, "# HELP lejitd_prefix_evictions_total Prefix-cache snapshots dropped (LRU capacity, stale rule epoch, or replacement).")
+		fmt.Fprintln(w, "# HELP lejitd_prefix_evictions_total Prefix-cache snapshots dropped (LRU capacity, stale rule epoch, or replacement), by domain pack.")
 		fmt.Fprintln(w, "# TYPE lejitd_prefix_evictions_total counter")
-		fmt.Fprintf(w, "lejitd_prefix_evictions_total %d\n", ps.Evictions)
+		for _, pk := range names {
+			fmt.Fprintf(w, "lejitd_prefix_evictions_total{pack=%q} %d\n", pk, stats[pk].Prefix.Evictions)
+		}
 
-		fmt.Fprintln(w, "# HELP lejitd_prefix_cache_bytes Bytes pinned by resident prefix-cache snapshots.")
+		fmt.Fprintln(w, "# HELP lejitd_prefix_cache_bytes Bytes pinned by resident prefix-cache snapshots, by domain pack.")
 		fmt.Fprintln(w, "# TYPE lejitd_prefix_cache_bytes gauge")
-		fmt.Fprintf(w, "lejitd_prefix_cache_bytes %d\n", ps.BytesResident)
+		for _, pk := range names {
+			fmt.Fprintf(w, "lejitd_prefix_cache_bytes{pack=%q} %d\n", pk, stats[pk].Prefix.BytesResident)
+		}
 
-		fmt.Fprintln(w, "# HELP lejitd_prefix_cache_entries Resident prefix-cache snapshots.")
+		fmt.Fprintln(w, "# HELP lejitd_prefix_cache_entries Resident prefix-cache snapshots, by domain pack.")
 		fmt.Fprintln(w, "# TYPE lejitd_prefix_cache_entries gauge")
-		fmt.Fprintf(w, "lejitd_prefix_cache_entries %d\n", ps.Entries)
+		for _, pk := range names {
+			fmt.Fprintf(w, "lejitd_prefix_cache_entries{pack=%q} %d\n", pk, stats[pk].Prefix.Entries)
+		}
+
+		fmt.Fprintln(w, "# HELP lejitd_pack_reloads_total Successful hot reloads of a pack's rule set.")
+		fmt.Fprintln(w, "# TYPE lejitd_pack_reloads_total counter")
+		for _, pk := range names {
+			fmt.Fprintf(w, "lejitd_pack_reloads_total{pack=%q} %d\n", pk, stats[pk].Reloads)
+		}
+
+		fmt.Fprintln(w, "# HELP lejitd_pack_reload_errors_total Rejected hot reloads (parse, compile, or satisfiability failure); the prior rules kept serving.")
+		fmt.Fprintln(w, "# TYPE lejitd_pack_reload_errors_total counter")
+		for _, pk := range names {
+			fmt.Fprintf(w, "lejitd_pack_reload_errors_total{pack=%q} %d\n", pk, stats[pk].ReloadErrors)
+		}
 	}
 
 	fmt.Fprintln(w, "# HELP lejitd_budget_exhausted_total Requests whose solver budget or deadline ran out mid-decode (HTTP 503).")

@@ -84,7 +84,7 @@ func TestServerPrefixCacheWarmsAcrossBatches(t *testing.T) {
 			t.Errorf("/metrics output missing %s", metric)
 		}
 	}
-	if !strings.Contains(text, fmt.Sprintf("lejitd_prefix_hits_total %d", snap.Prefix.Hits)) {
+	if !strings.Contains(text, fmt.Sprintf(`lejitd_prefix_hits_total{pack="default"} %d`, snap.Prefix.Hits)) {
 		t.Errorf("hits counter mismatch between snapshot and exposition:\n%s", text)
 	}
 }

@@ -15,20 +15,32 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/prefixcache"
+	"repro/internal/pack"
 	"repro/internal/rules"
 )
 
-// Config assembles a Server. Engine is required; everything else has
-// serving-sane defaults.
+// Config assembles a Server. Either Packs or Engine is required; everything
+// else has serving-sane defaults.
 type Config struct {
-	// Engine decodes. It is used only from the single batcher goroutine
-	// (which hands per-worker clones to the pool), so the engine's
-	// no-concurrency contract holds.
+	// Packs is the domain-pack registry the server decodes under: each
+	// request selects a pack by name ("pack" field, default DefaultPack) and
+	// runs against that pack's engine, rules, and schema. When nil, the
+	// Engine/Rules/Schema fields below are wrapped into a single-pack
+	// registry named "default" — the pre-pack construction path.
+	Packs *pack.Registry
+	// DefaultPack names the pack used by requests that do not select one.
+	// Required when Packs is set; implied ("default") otherwise.
+	DefaultPack string
+
+	// Engine decodes when Packs is nil. Engines are used only from the
+	// single batcher goroutine (which hands per-worker clones to the pool),
+	// so the engine's no-concurrency contract holds.
 	Engine *core.Engine
-	// Rules defines compliance for responses and /v1/check. May be nil.
+	// Rules defines compliance for responses and /v1/check when Packs is
+	// nil. May be nil.
 	Rules *rules.RuleSet
-	// Schema validates request records. May be nil (no validation).
+	// Schema validates request records when Packs is nil. May be nil (no
+	// validation).
 	Schema *rules.Schema
 
 	// BatchWindow is how long the batcher waits after the first request for
@@ -55,11 +67,12 @@ type Config struct {
 	// 200, so load balancers keep the instance) once at least this many
 	// requests have exhausted their solver budget. 0 disables degradation.
 	DegradedThreshold int
-	// PrefixCacheMB, when positive, attaches a cross-request prefix cache of
-	// that many MiB to the engine (DESIGN.md §11): decodes sharing a prompt
-	// prefix reuse frozen transformer KV state and solver witnesses across
-	// micro-batches, with LRU eviction under the byte cap. 0 disables the
-	// cache.
+	// PrefixCacheMB, when positive and Packs is nil, attaches a
+	// cross-request prefix cache of that many MiB to the wrapped engine
+	// (DESIGN.md §11): decodes sharing a prompt prefix reuse frozen
+	// transformer KV state and solver witnesses across micro-batches, with
+	// LRU eviction under the byte cap. 0 disables the cache. When Packs is
+	// set, per-pack caches are the registry's business (pack.NewRegistry).
 	PrefixCacheMB int
 	// Logf, when set, receives serving log lines.
 	Logf func(format string, args ...any)
@@ -91,8 +104,12 @@ func (c *Config) fill() {
 
 // job is one admitted decode request waiting for the batcher.
 type job struct {
-	ctx       context.Context
-	prompt    rules.Record // nil → unconditional generation
+	ctx    context.Context
+	prompt rules.Record // nil → unconditional generation
+	// pk is the domain pack resolved at admission time. A hot reload that
+	// lands while this job is queued does not retarget it: the job decodes
+	// on the engine (and rule epoch) it was admitted under.
+	pk        *pack.Compiled
 	seed      int64
 	decode    core.DecodeCtxFn
 	noCache   bool // request opted out of the prefix cache
@@ -111,11 +128,13 @@ type jobResult struct {
 
 // Server is the lejitd HTTP handler plus its micro-batching pipeline.
 type Server struct {
-	cfg     Config
-	mux     *http.ServeMux
-	queue   chan *job
-	metrics *Metrics
-	started time.Time
+	cfg         Config
+	packs       *pack.Registry
+	defaultPack string
+	mux         *http.ServeMux
+	queue       chan *job
+	metrics     *Metrics
+	started     time.Time
 
 	draining  atomic.Bool
 	seedSeq   atomic.Int64
@@ -127,36 +146,54 @@ type Server struct {
 // New builds a Server and starts its batcher goroutine. Callers must Close
 // it (Serve does so on return).
 func New(cfg Config) (*Server, error) {
-	if cfg.Engine == nil {
-		return nil, fmt.Errorf("server: Engine is required")
+	if cfg.Packs == nil && cfg.Engine == nil {
+		return nil, fmt.Errorf("server: Packs or Engine is required")
 	}
 	cfg.fill()
 	s := &Server{
-		cfg:     cfg,
-		mux:     http.NewServeMux(),
-		queue:   make(chan *job, cfg.QueueDepth),
-		started: time.Now(),
-		stop:    make(chan struct{}),
+		cfg:         cfg,
+		packs:       cfg.Packs,
+		defaultPack: cfg.DefaultPack,
+		mux:         http.NewServeMux(),
+		queue:       make(chan *job, cfg.QueueDepth),
+		started:     time.Now(),
+		stop:        make(chan struct{}),
 	}
-	// The prefix cache outlives any single micro-batch: it hangs off the
-	// engine (shared by its whole clone family), so snapshots captured in
-	// one batch warm requests in every later one.
-	var prefixStats func() prefixcache.Stats
-	if cfg.PrefixCacheMB > 0 {
-		cache := prefixcache.New(int64(cfg.PrefixCacheMB) << 20)
-		cfg.Engine.SetPrefixCache(cache)
-		prefixStats = cache.Stats
+	if s.packs == nil {
+		// Legacy construction: wrap the single engine as the pack "default".
+		// The registry owns the per-pack prefix cache (it outlives any
+		// single micro-batch: snapshots captured in one batch warm requests
+		// in every later one), so PrefixCacheMB becomes its byte budget.
+		s.packs = pack.NewRegistry(int64(cfg.PrefixCacheMB) << 20)
+		pk, err := pack.FromEngine("default", cfg.Engine, cfg.Rules, cfg.Schema)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.packs.Register(pk); err != nil {
+			return nil, err
+		}
+		if s.defaultPack == "" {
+			s.defaultPack = "default"
+		}
 	}
-	s.metrics = newMetrics(func() int { return len(s.queue) }, prefixStats)
+	if _, ok := s.packs.Get(s.defaultPack); !ok {
+		return nil, fmt.Errorf("server: default pack %q is not registered (have %v)", s.defaultPack, s.packs.Names())
+	}
+	s.metrics = newMetrics(func() int { return len(s.queue) }, s.packs.Stats)
 	s.mux.HandleFunc("/v1/impute", func(w http.ResponseWriter, r *http.Request) { s.handleDecode(w, r, "impute") })
 	s.mux.HandleFunc("/v1/generate", func(w http.ResponseWriter, r *http.Request) { s.handleDecode(w, r, "generate") })
 	s.mux.HandleFunc("/v1/check", s.handleCheck)
+	s.mux.HandleFunc("/v1/packs", s.handlePacks)
+	s.mux.HandleFunc("/v1/packs/reload", s.handlePackReload)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.batcherWG.Add(1)
 	go s.batcher()
 	return s, nil
 }
+
+// Packs exposes the server's pack registry (cmd/lejitd, tests).
+func (s *Server) Packs() *pack.Registry { return s.packs }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -250,17 +287,58 @@ func (s *Server) batcherLoop() (stopped bool) {
 	}
 }
 
-// runBatch decodes one micro-batch and delivers each job's result.
+// runBatch splits one micro-batch by domain pack and decodes the groups
+// concurrently — each group is one DecodeRequests call on its own pack's
+// engine, so lock-step batching still composes within a pack while packs
+// never share solver or transformer state. Grouping is by *pack.Compiled
+// pointer, not name: jobs admitted before a hot reload decode on their
+// admission-time bundle even if a same-named newer one is in the same batch.
 func (s *Server) runBatch(batch []*job) {
+	order := make([]*pack.Compiled, 0, 1)
+	groups := make(map[*pack.Compiled][]*job, 1)
+	for _, j := range batch {
+		if _, ok := groups[j.pk]; !ok {
+			order = append(order, j.pk)
+		}
+		groups[j.pk] = append(groups[j.pk], j)
+	}
+	var wg sync.WaitGroup
+	// A panic escaping a group goroutine must not kill the process: it is
+	// re-raised on the batcher goroutine after the other groups finish, so
+	// the batcher supervisor's restart semantics are preserved.
+	panics := make(chan any, len(order))
+	for _, pk := range order {
+		wg.Add(1)
+		go func(pk *pack.Compiled, group []*job) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics <- r
+				}
+			}()
+			s.runGroup(pk, group)
+		}(pk, groups[pk])
+	}
+	wg.Wait()
+	select {
+	case r := <-panics:
+		panic(r)
+	default:
+	}
+}
+
+// runGroup decodes one same-pack slice of a micro-batch and delivers each
+// job's result.
+func (s *Server) runGroup(pk *pack.Compiled, batch []*job) {
 	s.metrics.observeBatch(len(batch))
 	reqs := make([]core.BatchRequest, len(batch))
 	for i, j := range batch {
 		seed := j.seed
 		reqs[i] = core.BatchRequest{Prompt: j.prompt, Ctx: j.ctx, Seed: &seed, Decode: j.decode, NoPrefixCache: j.noCache, Lookahead: j.lookahead}
 	}
-	out, err := s.cfg.Engine.DecodeRequests(context.Background(), reqs, s.cfg.Workers, 0, nil)
+	out, err := pk.Engine.DecodeRequests(context.Background(), reqs, s.cfg.Workers, 0, nil)
 	if err != nil {
-		// Batch-level failure (engine cloning): fail every job.
+		// Group-level failure (engine cloning): fail every job.
 		for _, j := range batch {
 			j.resp <- jobResult{err: err, batchSize: len(batch)}
 		}
@@ -307,29 +385,56 @@ func (s *Server) decodeFnFor(mode string) (core.DecodeCtxFn, error) {
 
 // handleDecode serves /v1/impute and /v1/generate.
 func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request, route string) {
-	code := s.serveDecode(w, r, route)
-	s.metrics.countRequest(route, code)
+	code, pk := s.serveDecode(w, r, route)
+	s.metrics.countRequest(route, pk, code)
 }
 
-func (s *Server) serveDecode(w http.ResponseWriter, r *http.Request, route string) int {
+// resolvePack maps a request's pack field (empty → default) to its current
+// bundle.
+func (s *Server) resolvePack(name string) (*pack.Compiled, error) {
+	if name == "" {
+		name = s.defaultPack
+	}
+	pk, ok := s.packs.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown pack %q (have %v)", name, s.packs.Names())
+	}
+	return pk, nil
+}
+
+// serveDecode returns the HTTP status and the resolved pack name ("" when
+// the request failed before pack resolution).
+func (s *Server) serveDecode(w http.ResponseWriter, r *http.Request, route string) (int, string) {
 	if r.Method != http.MethodPost {
-		return writeError(w, http.StatusMethodNotAllowed, "POST required", "")
+		return writeError(w, http.StatusMethodNotAllowed, "POST required", ""), ""
 	}
 	if s.draining.Load() {
-		return writeError(w, http.StatusServiceUnavailable, "server is draining", "draining")
+		return writeError(w, http.StatusServiceUnavailable, "server is draining", "draining"), ""
 	}
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	req, err := ParseDecodeRequest(body, s.cfg.Schema, route == "impute")
+	// Parsed without a schema: record validation needs the pack, which the
+	// body itself selects.
+	req, err := ParseDecodeRequest(body, nil, route == "impute")
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			return writeError(w, http.StatusRequestEntityTooLarge, "request body too large", "")
+			return writeError(w, http.StatusRequestEntityTooLarge, "request body too large", ""), ""
 		}
-		return writeError(w, http.StatusBadRequest, err.Error(), "")
+		return writeError(w, http.StatusBadRequest, err.Error(), ""), ""
+	}
+	pk, err := s.resolvePack(req.Pack)
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error(), "unknown_pack"), ""
+	}
+	packName := pk.Def.Name
+	if req.Known != nil && pk.Schema != nil {
+		if err := validateRecord(req.Known, pk.Schema); err != nil {
+			return writeError(w, http.StatusBadRequest, err.Error(), ""), packName
+		}
 	}
 	decode, err := s.decodeFnFor(req.Mode)
 	if err != nil {
-		return writeError(w, http.StatusBadRequest, err.Error(), "")
+		return writeError(w, http.StatusBadRequest, err.Error(), ""), packName
 	}
 
 	// Clients may shorten their deadline but never extend it past the
@@ -354,6 +459,7 @@ func (s *Server) serveDecode(w http.ResponseWriter, r *http.Request, route strin
 	j := &job{
 		ctx:       ctx,
 		prompt:    req.Known,
+		pk:        pk,
 		seed:      seed,
 		decode:    decode,
 		noCache:   req.NoPrefixCache,
@@ -366,23 +472,23 @@ func (s *Server) serveDecode(w http.ResponseWriter, r *http.Request, route strin
 	case s.queue <- j:
 	default:
 		w.Header().Set("Retry-After", "1")
-		return writeError(w, http.StatusTooManyRequests, "queue full", "overloaded")
+		return writeError(w, http.StatusTooManyRequests, "queue full", "overloaded"), packName
 	}
 
 	select {
 	case res := <-j.resp:
 		s.metrics.observeLatency(time.Since(j.start).Seconds())
-		return s.writeDecodeResult(w, res)
+		return s.writeDecodeResult(w, j, res), packName
 	case <-ctx.Done():
 		// The job may still be queued or decoding; its context is cancelled,
 		// so the batcher will abandon it and nobody reads resp (buffered).
 		s.metrics.observeLatency(time.Since(j.start).Seconds())
 		s.metrics.countTimeout()
-		return writeError(w, http.StatusGatewayTimeout, "deadline exceeded", "timeout")
+		return writeError(w, http.StatusGatewayTimeout, "deadline exceeded", "timeout"), packName
 	}
 }
 
-func (s *Server) writeDecodeResult(w http.ResponseWriter, res jobResult) int {
+func (s *Server) writeDecodeResult(w http.ResponseWriter, j *job, res jobResult) int {
 	if res.err != nil {
 		var pe *core.PanicError
 		switch {
@@ -405,20 +511,22 @@ func (s *Server) writeDecodeResult(w http.ResponseWriter, res jobResult) int {
 		}
 	}
 	st := res.res.Stats
-	s.metrics.countDecode(st.Tokens, st.SolverChecks, st.SpecAcceptedTokens, st.SpecRollbacks)
+	s.metrics.countDecode(j.pk.Def.Name, st.Tokens, st.SolverChecks, st.SpecAcceptedTokens, st.SpecRollbacks)
 	out := DecodeResponse{
 		Record:    res.res.Rec,
-		Line:      s.formatLine(res.res.Rec),
+		Line:      formatLine(j.pk.Engine, res.res.Rec),
 		Compliant: true,
 		BatchSize: res.batchSize,
+		Pack:      j.pk.Def.Name,
+		Epoch:     j.pk.EpochHex(),
 		Stats: StatsJSON{
 			Tokens: st.Tokens, MaskedSteps: st.MaskedSteps, ForcedSteps: st.ForcedSteps,
 			SolverChecks: st.SolverChecks, Attempts: st.Attempts,
 			SpecAcceptedTokens: st.SpecAcceptedTokens, SpecRollbacks: st.SpecRollbacks,
 		},
 	}
-	if s.cfg.Rules != nil {
-		viol, err := s.cfg.Rules.Violations(res.res.Rec)
+	if j.pk.Rules != nil {
+		viol, err := j.pk.Rules.Violations(res.res.Rec)
 		if err != nil {
 			return writeError(w, http.StatusInternalServerError, err.Error(), "")
 		}
@@ -428,11 +536,11 @@ func (s *Server) writeDecodeResult(w http.ResponseWriter, res jobResult) int {
 	return writeJSON(w, http.StatusOK, out)
 }
 
-// formatLine renders a record in grammar order (digits + separators), the
-// same text format the LM was trained on.
-func (s *Server) formatLine(rec rules.Record) string {
+// formatLine renders a record in the engine's grammar order (digits +
+// separators), the same text format the pack's LM was trained on.
+func formatLine(e *core.Engine, rec rules.Record) string {
 	var b strings.Builder
-	for _, sl := range s.cfg.Engine.Slots() {
+	for _, sl := range e.Slots() {
 		vs, ok := rec[sl.Field]
 		if !ok || sl.Index >= len(vs) {
 			return ""
@@ -444,34 +552,114 @@ func (s *Server) formatLine(rec rules.Record) string {
 
 // handleCheck serves /v1/check: pure rule evaluation, no queue, no decode.
 func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
-	code := s.serveCheck(w, r)
-	s.metrics.countRequest("check", code)
+	code, pk := s.serveCheck(w, r)
+	s.metrics.countRequest("check", pk, code)
 }
 
-func (s *Server) serveCheck(w http.ResponseWriter, r *http.Request) int {
+func (s *Server) serveCheck(w http.ResponseWriter, r *http.Request) (int, string) {
 	if r.Method != http.MethodPost {
-		return writeError(w, http.StatusMethodNotAllowed, "POST required", "")
+		return writeError(w, http.StatusMethodNotAllowed, "POST required", ""), ""
 	}
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	req, err := ParseCheckRequest(body, s.cfg.Schema)
+	req, err := ParseCheckRequest(body, nil)
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			return writeError(w, http.StatusRequestEntityTooLarge, "request body too large", "")
+			return writeError(w, http.StatusRequestEntityTooLarge, "request body too large", ""), ""
 		}
-		return writeError(w, http.StatusBadRequest, err.Error(), "")
+		return writeError(w, http.StatusBadRequest, err.Error(), ""), ""
 	}
-	if s.cfg.Rules == nil {
-		return writeError(w, http.StatusNotImplemented, "server has no rule set loaded", "")
-	}
-	viol, err := s.cfg.Rules.Violations(req.Record)
+	pk, err := s.resolvePack(req.Pack)
 	if err != nil {
-		return writeError(w, http.StatusBadRequest, err.Error(), "")
+		return writeError(w, http.StatusBadRequest, err.Error(), "unknown_pack"), ""
+	}
+	packName := pk.Def.Name
+	if pk.Schema != nil {
+		if err := validateRecord(req.Record, pk.Schema); err != nil {
+			return writeError(w, http.StatusBadRequest, err.Error(), ""), packName
+		}
+	}
+	if pk.Rules == nil {
+		return writeError(w, http.StatusNotImplemented, "pack has no rule set loaded", ""), packName
+	}
+	viol, err := pk.Rules.Violations(req.Record)
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error(), ""), packName
 	}
 	if viol == nil {
 		viol = []string{}
 	}
-	return writeJSON(w, http.StatusOK, CheckResponse{Compliant: len(viol) == 0, Violations: viol})
+	return writeJSON(w, http.StatusOK, CheckResponse{Compliant: len(viol) == 0, Violations: viol}), packName
+}
+
+// handlePacks serves GET /v1/packs: the registry listing with live epoch,
+// generation, and reload counters per pack.
+func (s *Server) handlePacks(w http.ResponseWriter, r *http.Request) {
+	code := s.servePacks(w, r)
+	s.metrics.countRequest("packs", "", code)
+}
+
+func (s *Server) servePacks(w http.ResponseWriter, r *http.Request) int {
+	if r.Method != http.MethodGet {
+		return writeError(w, http.StatusMethodNotAllowed, "GET required", "")
+	}
+	infos := s.packs.List()
+	out := PacksResponse{Default: s.defaultPack, Packs: make([]PackInfoJSON, 0, len(infos))}
+	for _, info := range infos {
+		out.Packs = append(out.Packs, PackInfoJSON{
+			Name: info.Name, Version: info.Version,
+			Epoch:      fmt.Sprintf("%016x", info.Epoch),
+			Generation: info.Generation,
+			Rules:      info.Rules, Fields: info.Fields,
+			Reloads: info.Reloads, ReloadErrs: info.ReloadErrors,
+			Default: info.Name == s.defaultPack,
+		})
+	}
+	return writeJSON(w, http.StatusOK, out)
+}
+
+// handlePackReload serves POST /v1/packs/reload: swap one pack's rule set
+// from source text. Parsing, compilation, and the satisfiability pre-check
+// run here — off the decode hot path — and the registry swaps atomically, so
+// in-flight requests finish on the epoch they were admitted under and the
+// next admission sees the new rules. On any error the old rules keep serving.
+func (s *Server) handlePackReload(w http.ResponseWriter, r *http.Request) {
+	code, pk := s.servePackReload(w, r)
+	s.metrics.countRequest("reload", pk, code)
+}
+
+func (s *Server) servePackReload(w http.ResponseWriter, r *http.Request) (int, string) {
+	if r.Method != http.MethodPost {
+		return writeError(w, http.StatusMethodNotAllowed, "POST required", ""), ""
+	}
+	if s.draining.Load() {
+		return writeError(w, http.StatusServiceUnavailable, "server is draining", "draining"), ""
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	req, err := ParseReloadRequest(body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return writeError(w, http.StatusRequestEntityTooLarge, "request body too large", ""), ""
+		}
+		return writeError(w, http.StatusBadRequest, err.Error(), ""), ""
+	}
+	next, err := s.packs.Reload(req.Pack, req.Rules)
+	if err != nil {
+		var unknown pack.ErrUnknownPack
+		if errors.As(err, &unknown) {
+			return writeError(w, http.StatusNotFound, err.Error(), "unknown_pack"), ""
+		}
+		return writeError(w, http.StatusBadRequest, err.Error(), "bad_rules"), req.Pack
+	}
+	s.logf("server: pack %s reloaded: epoch %s generation %d", req.Pack, next.EpochHex(), next.Generation)
+	nrules := 0
+	if next.Rules != nil {
+		nrules = len(next.Rules.Rules)
+	}
+	return writeJSON(w, http.StatusOK, ReloadResponse{
+		Pack: req.Pack, Epoch: next.EpochHex(), Generation: next.Generation, Rules: nrules,
+	}), req.Pack
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

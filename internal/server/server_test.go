@@ -353,7 +353,7 @@ func TestMetricsEndpointRenders(t *testing.T) {
 		t.Fatalf("status %d", resp.StatusCode)
 	}
 	for _, want := range []string{
-		`lejitd_requests_total{route="impute",code="200"} 1`,
+		`lejitd_requests_total{route="impute",pack="default",code="200"} 1`,
 		"lejitd_batches_total 1",
 		"lejitd_queue_depth 0",
 		"lejitd_batch_size_sum 1",
