@@ -188,6 +188,7 @@ func (e *Engine) DecodeRequests(ctx context.Context, reqs []BatchRequest, worker
 	if len(reqs) == 0 {
 		return out, nil
 	}
+	e.notePoolDemand(len(reqs))
 	if blm, ok := e.cfg.LM.(BatchLM); ok && defaultPath {
 		eligible := 0
 		for i := range reqs {

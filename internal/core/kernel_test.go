@@ -1,0 +1,183 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/rules"
+	"repro/internal/vocab"
+)
+
+// These tests cover the engine-level plumbing of the multi-core GEMM
+// sharding and int8 quantization (DESIGN.md §15): config application,
+// post-construction setters, the lock-step golden equivalence under a
+// sharded+quantized model, and the pooled-clone retention cap.
+
+// nnKernelEngine builds an engine over a private model (never the shared
+// nnTestModel: snap-mode quantization rewrites weights, and worker-group
+// settings are model-level state) big enough that the batch GEMMs clear the
+// parallel-dispatch threshold.
+func nnKernelEngine(tb testing.TB, cfg Config) (*Engine, *nn.Model) {
+	tb.Helper()
+	m, err := nn.New(nn.Config{
+		Vocab: vocab.Telemetry().Size(), Ctx: 48, Dim: 48, Heads: 4, Layers: 2,
+	}, 7)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	schema := rules.MustSchema(
+		rules.Field{Name: "TotalIngress", Kind: rules.Scalar, Lo: 0, Hi: 300},
+		rules.Field{Name: "Congestion", Kind: rules.Scalar, Lo: 0, Hi: 100},
+		rules.Field{Name: "I", Kind: rules.Vector, Len: 5, Lo: 0, Hi: 60},
+	)
+	rs, err := rules.ParseRuleSet(testRules, schema)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	slots, err := TelemetryGrammar(schema, []string{"TotalIngress", "Congestion"}, "I")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cfg.LM = WrapNN(m)
+	cfg.Tok = vocab.Telemetry()
+	cfg.Schema = schema
+	cfg.Rules = rs
+	cfg.Slots = slots
+	cfg.Mode = LeJIT
+	e, err := NewEngine(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return e, m
+}
+
+// TestLockStepShardedQuantizedMatchesSolo is the end-to-end golden check:
+// a lock-step batch decoded on a sharded worker group over snapped int8
+// weights produces records identical to per-record solo decodes of the same
+// engine family, and the decode genuinely took the parallel path.
+func TestLockStepShardedQuantizedMatchesSolo(t *testing.T) {
+	e, m := nnKernelEngine(t, Config{KernelWorkers: 3, QuantizeWeights: nn.QuantSnap})
+	defer m.SetKernelWorkers(1)
+	if got := m.KernelWorkers(); got != 3 {
+		t.Fatalf("model worker group = %d, want 3 from Config.KernelWorkers", got)
+	}
+	if cov := m.QuantCoverage(); cov != 1 {
+		t.Fatalf("snap coverage %v, want 1", cov)
+	}
+	reqs := []BatchRequest{
+		{Prompt: rules.Record{"TotalIngress": {120}, "Congestion": {10}}},
+		{Prompt: rules.Record{"TotalIngress": {60}, "Congestion": {0}}},
+		{},
+		{Prompt: rules.Record{"TotalIngress": {200}, "Congestion": {55}}},
+	}
+	out, err := e.DecodeRequests(context.Background(), reqs, 1, 42, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkMatchesSolo(t, e, reqs, out, 42)
+	par, _ := m.KernelOps()
+	if par == 0 {
+		t.Fatal("decode recorded no parallel kernel dispatches — batch GEMMs below threshold?")
+	}
+	for i := range out {
+		if out[i].Err != nil {
+			continue
+		}
+		if got := out[i].Res.Stats.KernelWorkers; got != 3 {
+			t.Errorf("record %d Stats.KernelWorkers = %d, want 3", i, got)
+		}
+		if got := out[i].Res.Stats.QuantizedWeightRows; got != 1 {
+			t.Errorf("record %d Stats.QuantizedWeightRows = %v, want 1", i, got)
+		}
+	}
+}
+
+// TestKernelConfigSetters covers the post-construction mirror of the config
+// fields, including clone inheritance and the non-nn error path.
+func TestKernelConfigSetters(t *testing.T) {
+	e, m := nnKernelEngine(t, Config{})
+	defer m.SetKernelWorkers(1)
+	if got := e.SetKernelWorkers(-1); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("SetKernelWorkers(-1) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := e.SetKernelWorkers(2); got != 2 || m.KernelWorkers() != 2 {
+		t.Fatalf("SetKernelWorkers(2) = %d (model %d), want 2", got, m.KernelWorkers())
+	}
+	st, err := e.SetWeightQuantization(nn.QuantExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Mode != nn.QuantExact {
+		t.Fatalf("quant stats mode %q, want exact", st.Mode)
+	}
+	c, err := e.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.cfg.KernelWorkers != 2 || c.cfg.QuantizeWeights != nn.QuantExact {
+		t.Fatalf("clone config (workers=%d quant=%q) did not inherit setters",
+			c.cfg.KernelWorkers, c.cfg.QuantizeWeights)
+	}
+	if _, err := e.SetWeightQuantization("bogus"); err == nil {
+		t.Fatal("SetWeightQuantization accepted a bogus mode")
+	}
+
+	mock := testEngine(t, uniformLM{vocab: vocab.Telemetry().Size()}, LeJIT)
+	if got := mock.SetKernelWorkers(4); got != 0 {
+		t.Fatalf("non-nn SetKernelWorkers = %d, want 0", got)
+	}
+	if _, err := mock.SetWeightQuantization(nn.QuantSnap); err == nil {
+		t.Fatal("non-nn SetWeightQuantization succeeded")
+	}
+}
+
+// TestReleaseClonePoolCap: the pool retains up to max(2×NumCPU, observed
+// batch demand) clones — the demand high-water mark lifts the CPU-derived
+// cap so a large micro-batch on a small host keeps its lane engines.
+func TestReleaseClonePoolCap(t *testing.T) {
+	e := nnTestEngine(t)
+	drain := func() {
+		e.poolMu.Lock()
+		e.pool = nil
+		e.poolDemand = 0
+		e.poolMu.Unlock()
+	}
+	drain()
+	defer drain()
+
+	baseCap := 2 * runtime.NumCPU()
+	want := baseCap + 3
+	clones := make([]*Engine, want+2)
+	for i := range clones {
+		c, err := e.Clone()
+		if err != nil {
+			t.Fatal(err)
+		}
+		clones[i] = c
+	}
+
+	for _, c := range clones {
+		e.releaseClone(c)
+	}
+	e.poolMu.Lock()
+	got := len(e.pool)
+	e.poolMu.Unlock()
+	if got != baseCap {
+		t.Fatalf("pool retained %d clones with no recorded demand, want %d", got, baseCap)
+	}
+
+	drain()
+	e.notePoolDemand(want)
+	e.notePoolDemand(1) // a smaller batch must not lower the high-water mark
+	for _, c := range clones {
+		e.releaseClone(c)
+	}
+	e.poolMu.Lock()
+	got = len(e.pool)
+	e.poolMu.Unlock()
+	if got != want {
+		t.Fatalf("pool retained %d clones with demand %d, want %d", got, want, want)
+	}
+}

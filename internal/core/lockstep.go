@@ -43,14 +43,30 @@ func (e *Engine) acquireClone() (*Engine, error) {
 }
 
 // releaseClone returns a lane engine to the pool for the next batch. The
-// pool is bounded at 2×NumCPU — enough that a steady stream of full batches
-// never re-clones, while a one-time burst of lanes (one serving spike) does
-// not permanently retain every clone and its KV-cache scratch. Excess clones
-// are dropped for the GC.
+// pool is bounded at max(2×NumCPU, observed batch demand): the CPU term
+// keeps a one-time burst of unrelated lanes from permanently retaining every
+// clone and its KV-cache scratch, while the demand term — the largest batch
+// size DecodeRequests has actually seen (notePoolDemand) — stops a steady
+// stream of large micro-batches on a small host from re-cloning most of its
+// lanes every batch. Excess clones are dropped for the GC.
 func (e *Engine) releaseClone(c *Engine) {
 	e.poolMu.Lock()
-	if len(e.pool) < 2*runtime.NumCPU() {
+	limit := 2 * runtime.NumCPU()
+	if e.poolDemand > limit {
+		limit = e.poolDemand
+	}
+	if len(e.pool) < limit {
 		e.pool = append(e.pool, c)
+	}
+	e.poolMu.Unlock()
+}
+
+// notePoolDemand records that n lanes may need clones concurrently, raising
+// the pool's retention cap (never lowering it — demand is a high-water mark).
+func (e *Engine) notePoolDemand(n int) {
+	e.poolMu.Lock()
+	if n > e.poolDemand {
+		e.poolDemand = n
 	}
 	e.poolMu.Unlock()
 }

@@ -1,0 +1,254 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/nn"
+	"repro/internal/rules"
+)
+
+// CoresPoint is lock-step decode throughput at one (GOMAXPROCS, batch)
+// setting. Every point decodes the same prompts with the same per-record
+// seeds, so the records are bit-identical across the whole sweep by the
+// kernel-partitioning invariant (DESIGN.md §15) — ParallelMatchesSerial
+// asserts exactly that.
+type CoresPoint struct {
+	GoMaxProcs    int     `json:"gomaxprocs"`
+	KernelWorkers int     `json:"kernel_workers"`
+	Batch         int     `json:"batch"`
+	Tokens        int     `json:"tokens"`
+	TotalMs       float64 `json:"total_ms"`
+	TokensPerSec  float64 `json:"tokens_per_sec"`
+	// SpeedupVs1 compares against the GOMAXPROCS=1 point at the same batch
+	// size. It is nil on a single-CPU host: raising GOMAXPROCS there adds
+	// scheduling overhead, not parallelism, and a ~1.0 value would read as
+	// "sharding doesn't help" when no speedup was measurable (the BENCH_1..7
+	// footgun).
+	SpeedupVs1 *float64 `json:"speedup_vs_1"`
+}
+
+// CoresQuant compares int8-quantized kernels against float32 on the same
+// snapped weights (snap mode overwrites every weight with its dequantized
+// value, so the two kernels are bit-identical by construction — the
+// comparison isolates kernel cost, not rounding).
+type CoresQuant struct {
+	Mode        string  `json:"mode"`
+	RowCoverage float64 `json:"row_coverage"`
+	// Weight traffic one lane-token costs with a full batch of 16.
+	WeightBytesPerTokenFloat32 float64 `json:"weight_bytes_per_token_float32"`
+	WeightBytesPerTokenInt8    float64 `json:"weight_bytes_per_token_int8"`
+	TokensPerSecFloat32        float64 `json:"tokens_per_sec_float32"`
+	TokensPerSecInt8           float64 `json:"tokens_per_sec_int8"`
+}
+
+// CoresReport is the machine-readable multi-core kernel summary written as
+// BENCH_8.json. NumCPU comes first deliberately: every number below it is
+// meaningless as a scaling claim unless NumCPU > 1.
+type CoresReport struct {
+	NumCPU         int    `json:"num_cpu"`
+	GoMaxProcsHost int    `json:"gomaxprocs_host"`
+	Records        int    `json:"records"`
+	Rules          int    `json:"rules"`
+	Warning        string `json:"warning,omitempty"`
+	// ParallelMatchesSerial: every sweep point's records equal the
+	// GOMAXPROCS=1, batch=1, serial-kernel baseline's. CI gates on this.
+	ParallelMatchesSerial bool `json:"parallel_matches_serial"`
+	// QuantizedMatchesFloat32: int8 decode records equal float32 decode
+	// records over the same snapped weights. CI gates on this.
+	QuantizedMatchesFloat32 bool `json:"quantized_matches_float32"`
+	// ParallelKernelOps counts GEMM/attention dispatches that actually took
+	// the sharded path during the sweep — nonzero even on a 1-CPU host
+	// (block dispatch keys on work size, not CPU count), so a zero means the
+	// equivalence check was vacuous.
+	ParallelKernelOps uint64       `json:"parallel_kernel_ops"`
+	Sweep             []CoresPoint `json:"sweep"`
+	Quant             CoresQuant   `json:"quant"`
+}
+
+// coresDecode decodes the prompts in lock-step chunks of b on one decode
+// worker, with per-record seeds fixed by global index (so chunking does not
+// change any record's RNG stream) and the prefix cache off (so every point
+// runs its GEMMs cold — cache reuse would make the bit-exactness check
+// partially vacuous and the timing unfair to later points).
+func coresDecode(eng *core.Engine, prompts []rules.Record, b int, seed int64) ([]rules.Record, int, time.Duration, error) {
+	recs := make([]rules.Record, len(prompts))
+	toks := 0
+	start := time.Now()
+	for lo := 0; lo < len(prompts); lo += b {
+		hi := min(lo+b, len(prompts))
+		reqs := make([]core.BatchRequest, hi-lo)
+		for j := lo; j < hi; j++ {
+			s := core.MixSeed(seed, j)
+			reqs[j-lo].Prompt = prompts[j]
+			reqs[j-lo].Seed = &s
+			reqs[j-lo].NoPrefixCache = true
+		}
+		res, err := eng.DecodeRequests(context.Background(), reqs, 1, seed, nil)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		for j, r := range res {
+			if r.Err != nil {
+				return nil, 0, 0, fmt.Errorf("cores bench: batch=%d record %d: %w", b, lo+j, r.Err)
+			}
+			recs[lo+j] = r.Res.Rec
+			toks += r.Res.Stats.Tokens
+		}
+	}
+	return recs, toks, time.Since(start), nil
+}
+
+// RunCoresBench sweeps GOMAXPROCS {1,2,4} × lock-step batch {1,16} over the
+// sharded GEMM kernels, then compares int8 against float32 kernels on
+// snapped weights. It decodes against a gob clone of the trained model
+// (snap-mode quantization rewrites weights in place) and restores the
+// process GOMAXPROCS before returning.
+func RunCoresBench(env *Env) (*CoresReport, error) {
+	var buf bytes.Buffer
+	if err := env.Model.Save(&buf); err != nil {
+		return nil, fmt.Errorf("cores bench: cloning model: %w", err)
+	}
+	m, err := nn.Load(&buf)
+	if err != nil {
+		return nil, fmt.Errorf("cores bench: cloning model: %w", err)
+	}
+	eng, err := env.EngineForModel(m, env.ImputeRules, core.LeJIT)
+	if err != nil {
+		return nil, err
+	}
+	test := env.TestRecordsN(0)
+	prompts := make([]rules.Record, len(test))
+	for i, rec := range test {
+		prompts[i] = CoarseOf(rec)
+	}
+	rep := &CoresReport{
+		NumCPU:                  runtime.NumCPU(),
+		GoMaxProcsHost:          runtime.GOMAXPROCS(0),
+		Records:                 len(prompts),
+		Rules:                   env.ImputeRules.Len(),
+		ParallelMatchesSerial:   true,
+		QuantizedMatchesFloat32: true,
+	}
+	if rep.NumCPU == 1 {
+		rep.Warning = "NumCPU=1: the sweep verifies determinism and bit-exactness only; wall-clock speedups are not measurable on this host"
+	}
+
+	defer runtime.GOMAXPROCS(rep.GoMaxProcsHost)
+	defer m.SetKernelWorkers(1) // stop the worker group's goroutines
+
+	seed := env.Scale.Seed + 8000
+	var baseline []rules.Record
+	base := map[int]float64{} // batch → tokens/sec at GOMAXPROCS=1
+	for _, g := range []int{1, 2, 4} {
+		runtime.GOMAXPROCS(g)
+		m.SetKernelWorkers(g)
+		for _, b := range []int{1, 16} {
+			recs, toks, total, err := coresDecode(eng, prompts, b, seed)
+			if err != nil {
+				return nil, err
+			}
+			pt := CoresPoint{
+				GoMaxProcs: g, KernelWorkers: m.KernelWorkers(), Batch: b,
+				Tokens: toks, TotalMs: float64(total.Microseconds()) / 1000,
+			}
+			if total > 0 {
+				pt.TokensPerSec = float64(toks) / total.Seconds()
+			}
+			if g == 1 {
+				base[b] = pt.TokensPerSec
+			} else if base[b] > 0 && rep.NumCPU > 1 {
+				s := pt.TokensPerSec / base[b]
+				pt.SpeedupVs1 = &s
+			}
+			if baseline == nil {
+				baseline = recs
+			} else if !reflect.DeepEqual(recs, baseline) {
+				rep.ParallelMatchesSerial = false
+			}
+			rep.Sweep = append(rep.Sweep, pt)
+		}
+	}
+	rep.ParallelKernelOps, _ = m.KernelOps()
+	if rep.ParallelKernelOps == 0 {
+		rep.ParallelMatchesSerial = false // vacuous check — nothing ran sharded
+	}
+
+	// Quant phase: snap the weights, then decode at the sweep's widest
+	// setting with the int8 store disabled and enabled. Snap rewrites
+	// weights, so these records differ from the float sweep's — the
+	// equivalence claim is int8-vs-float32 over identical (snapped) weights.
+	st, err := m.Quantize(nn.QuantSnap)
+	if err != nil {
+		return nil, err
+	}
+	rep.Quant.Mode = st.Mode
+	rep.Quant.RowCoverage = st.Coverage
+	rep.Quant.WeightBytesPerTokenFloat32 = float64(m.AppendWeightBytes()) / 16
+	rep.Quant.WeightBytesPerTokenInt8 = float64(m.AppendWeightBytesInt8()) / 16
+	engQ, err := env.EngineForModel(m, env.ImputeRules, core.LeJIT)
+	if err != nil {
+		return nil, err
+	}
+	m.EnableQuant(false)
+	recsF, toksF, totalF, err := coresDecode(engQ, prompts, 16, seed)
+	if err != nil {
+		return nil, err
+	}
+	m.EnableQuant(true)
+	recsQ, toksQ, totalQ, err := coresDecode(engQ, prompts, 16, seed)
+	if err != nil {
+		return nil, err
+	}
+	if totalF > 0 {
+		rep.Quant.TokensPerSecFloat32 = float64(toksF) / totalF.Seconds()
+	}
+	if totalQ > 0 {
+		rep.Quant.TokensPerSecInt8 = float64(toksQ) / totalQ.Seconds()
+	}
+	if !reflect.DeepEqual(recsQ, recsF) {
+		rep.QuantizedMatchesFloat32 = false
+	}
+	return rep, nil
+}
+
+// WriteJSON writes the report to path, pretty-printed.
+func (r *CoresReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// CoresTable renders the report for the text output.
+func CoresTable(r *CoresReport) Table {
+	t := Table{
+		Title: fmt.Sprintf("Cores: GOMAXPROCS × batch sweep, sharded GEMM + int8 (NumCPU=%d, %d records)",
+			r.NumCPU, r.Records),
+		Header: []string{"gomaxprocs", "batch", "tokens/sec", "total ms", "speedup_vs_1"},
+	}
+	for _, p := range r.Sweep {
+		t.Rows = append(t.Rows, []string{
+			itoa(p.GoMaxProcs), itoa(p.Batch), f1(p.TokensPerSec),
+			fmt.Sprintf("%.1f", p.TotalMs), speedupCell(p.SpeedupVs1),
+		})
+	}
+	t.Rows = append(t.Rows, []string{
+		"int8 off", "16", f1(r.Quant.TokensPerSecFloat32),
+		fmt.Sprintf("%.0f B/tok", r.Quant.WeightBytesPerTokenFloat32), "",
+	})
+	t.Rows = append(t.Rows, []string{
+		"int8 on", "16", f1(r.Quant.TokensPerSecInt8),
+		fmt.Sprintf("%.0f B/tok", r.Quant.WeightBytesPerTokenInt8),
+		fmt.Sprintf("coverage %.2f", r.Quant.RowCoverage),
+	})
+	return t
+}

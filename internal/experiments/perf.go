@@ -12,12 +12,15 @@ import (
 	"repro/internal/rules"
 )
 
-// WorkerPerf is decode throughput at one worker count.
+// WorkerPerf is decode throughput at one worker count. Speedup is nil on a
+// GOMAXPROCS=1 host: the sweep then measures determinism, not scaling, and
+// a ~1.0 value would read as "no speedup" when no speedup was measurable
+// (the BENCH_1..7 footgun — every committed report ran on a 1-CPU host).
 type WorkerPerf struct {
-	Workers       int     `json:"workers"`
-	TotalMs       float64 `json:"total_ms"`
-	RecordsPerSec float64 `json:"records_per_sec"`
-	Speedup       float64 `json:"speedup_vs_1"`
+	Workers       int      `json:"workers"`
+	TotalMs       float64  `json:"total_ms"`
+	RecordsPerSec float64  `json:"records_per_sec"`
+	Speedup       *float64 `json:"speedup_vs_1"`
 }
 
 // BatchPerf is lock-step decode throughput at one batch size: B lanes share
@@ -31,7 +34,8 @@ type BatchPerf struct {
 	// the batch full: AppendWeightBytes/B. Ragged tails stream more; this is
 	// the steady-state figure, and at batch 1 it equals the solo path's cost.
 	WeightBytesPerToken float64 `json:"weight_bytes_per_token"`
-	Speedup             float64 `json:"speedup_vs_1"`
+	// Speedup is nil on a GOMAXPROCS=1 host (see WorkerPerf.Speedup).
+	Speedup *float64 `json:"speedup_vs_1"`
 }
 
 // PerfReport is the machine-readable performance summary written as
@@ -151,8 +155,9 @@ func RunPerf(env *Env, workerCounts []int) (*PerfReport, error) {
 		if w == 1 || base == 0 {
 			base = wp.RecordsPerSec
 		}
-		if base > 0 {
-			wp.Speedup = wp.RecordsPerSec / base
+		if base > 0 && rep.GoMaxProcs > 1 {
+			s := wp.RecordsPerSec / base
+			wp.Speedup = &s
 		}
 		rep.ByWorkers = append(rep.ByWorkers, wp)
 	}
@@ -195,8 +200,9 @@ func RunPerf(env *Env, workerCounts []int) (*PerfReport, error) {
 		if b == 1 || batchBase == 0 {
 			batchBase = bp.TokensPerSec
 		}
-		if batchBase > 0 {
-			bp.Speedup = bp.TokensPerSec / batchBase
+		if batchBase > 0 && rep.GoMaxProcs > 1 {
+			s := bp.TokensPerSec / batchBase
+			bp.Speedup = &s
 		}
 		rep.ByBatch = append(rep.ByBatch, bp)
 	}
@@ -225,15 +231,24 @@ func PerfTable(r *PerfReport) Table {
 	for _, w := range r.ByWorkers {
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("workers=%d", w.Workers), f1(w.RecordsPerSec) + " rec/s",
-			fmt.Sprintf("%.1fms", w.TotalMs), fmt.Sprintf("%.2fx", w.Speedup), "",
+			fmt.Sprintf("%.1fms", w.TotalMs), speedupCell(w.Speedup), "",
 		})
 	}
 	for _, b := range r.ByBatch {
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("batch=%d", b.Batch), f1(b.TokensPerSec) + " tok/s",
-			fmt.Sprintf("%.1fms", b.TotalMs), fmt.Sprintf("%.2fx", b.Speedup),
+			fmt.Sprintf("%.1fms", b.TotalMs), speedupCell(b.Speedup),
 			fmt.Sprintf("%.0f B/tok", b.WeightBytesPerToken),
 		})
 	}
 	return t
+}
+
+// speedupCell renders a nullable speedup: "n/a" when the host could not
+// have shown one (GOMAXPROCS=1).
+func speedupCell(s *float64) string {
+	if s == nil {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2fx", *s)
 }

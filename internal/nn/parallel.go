@@ -1,0 +1,208 @@
+package nn
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the kernel worker group: row-block parallelism for
+// the decode GEMMs (DESIGN.md §15). A kernel call partitions its output
+// columns (equivalently, the rows of Wᵀ) into contiguous blocks; each block
+// is computed by exactly one goroutine, start to finish. Because every
+// output element has a single accumulator whose adds run in ascending
+// input-row order inside matLinearCols, the partition never changes any
+// float32 operation sequence — the result is bit-identical to the serial
+// kernel for every worker count, and deciding *which* goroutine runs a
+// block is pure scheduling.
+//
+// The group is persistent: SetKernelWorkers starts n-1 pinned helper
+// goroutines once, and a kernel dispatch costs one task handoff plus a
+// barrier, not a goroutine spawn. The caller always participates, so a
+// dispatch makes progress even if every helper is busy with another
+// session's kernels (the pool is shared by all sessions of the model and is
+// safe for concurrent dispatch).
+
+// minParallelMadds is the dispatch threshold in multiply-adds: below it the
+// barrier handoff costs more than the arithmetic it would spread. A var, not
+// a const, so equivalence tests can force tiny kernels through the parallel
+// path.
+var minParallelMadds = 8192
+
+// minGemmCols is the smallest column block worth dispatching: narrower
+// blocks thrash the same cache lines the neighbouring block owns.
+const minGemmCols = 8
+
+// kernelTask is one parallelFor dispatch. Workers claim block indices from
+// next; wg is the completion barrier.
+type kernelTask struct {
+	fn     func(block int)
+	blocks int
+	next   atomic.Int64
+	wg     sync.WaitGroup
+}
+
+// run claims and executes blocks until none remain. Called by the
+// dispatching goroutine and by any helper that picked the task up; the
+// atomic claim means a block runs exactly once no matter how many
+// goroutines are draining the task.
+func (t *kernelTask) run() {
+	for {
+		b := int(t.next.Add(1)) - 1
+		if b >= t.blocks {
+			return
+		}
+		t.fn(b)
+		t.wg.Done()
+	}
+}
+
+// kernelPool is the persistent worker group: workers-1 helper goroutines
+// parked on the task channel (the dispatching goroutine is the last worker).
+type kernelPool struct {
+	workers int
+	tasks   chan *kernelTask
+	quit    chan struct{}
+}
+
+func newKernelPool(workers int) *kernelPool {
+	p := &kernelPool{
+		workers: workers,
+		tasks:   make(chan *kernelTask, workers),
+		quit:    make(chan struct{}),
+	}
+	for i := 1; i < workers; i++ {
+		go p.loop()
+	}
+	return p
+}
+
+func (p *kernelPool) loop() {
+	for {
+		select {
+		case t := <-p.tasks:
+			t.run()
+		case <-p.quit:
+			return
+		}
+	}
+}
+
+// stop retires the pool's helpers. In-flight tasks finish normally: a
+// dispatch never depends on helpers being alive (the caller drains every
+// unclaimed block itself), so stopping is safe even while sessions decode.
+func (p *kernelPool) stop() { close(p.quit) }
+
+// parallelFor runs fn(0) … fn(blocks-1), each exactly once, and returns
+// after all complete. Helper handoff is best-effort (non-blocking sends):
+// if every helper is busy the caller simply runs all blocks itself, so the
+// dispatch can never deadlock and never blocks on a stopped pool.
+func (p *kernelPool) parallelFor(blocks int, fn func(int)) {
+	t := &kernelTask{fn: fn, blocks: blocks}
+	t.wg.Add(blocks)
+	helpers := p.workers - 1
+	if helpers > blocks-1 {
+		helpers = blocks - 1
+	}
+hint:
+	for i := 0; i < helpers; i++ {
+		select {
+		case p.tasks <- t:
+		default:
+			break hint
+		}
+	}
+	t.run()
+	t.wg.Wait()
+}
+
+// SetKernelWorkers sets the model's kernel worker-group size: n > 1 shards
+// eligible kernels across n goroutines (the caller plus n-1 persistent
+// helpers), 1 restores the serial path, and n <= 0 means GOMAXPROCS.
+// Returns the effective count. Output is bit-identical at every setting.
+//
+// Safe to call concurrently with decoding — sessions pick the pool up
+// per-dispatch, and a replaced pool finishes its in-flight work — but a
+// resize parks the old helpers for good, so treat it as configuration, not
+// a per-request knob. Calls that do not change the count are no-ops, which
+// is what Engine.Clone relies on when it re-applies engine config mid-serve.
+func (m *Model) SetKernelWorkers(n int) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	m.kernMu.Lock()
+	defer m.kernMu.Unlock()
+	cur := m.kern.Load()
+	curW := 1
+	if cur != nil {
+		curW = cur.workers
+	}
+	if curW == n {
+		return n
+	}
+	if n <= 1 {
+		m.kern.Store(nil)
+	} else {
+		m.kern.Store(newKernelPool(n))
+	}
+	if cur != nil {
+		cur.stop()
+	}
+	return n
+}
+
+// KernelWorkers returns the current kernel worker-group size (1 = serial).
+func (m *Model) KernelWorkers() int {
+	if p := m.kern.Load(); p != nil {
+		return p.workers
+	}
+	return 1
+}
+
+// KernelOps returns how many kernel dispatches ran sharded across the
+// worker group vs. serially (pool off, or work below the dispatch
+// threshold). Cumulative over the model's lifetime, across all sessions.
+func (m *Model) KernelOps() (parallel, serial uint64) {
+	return m.parallelOps.Load(), m.serialOps.Load()
+}
+
+// kernelBlocks decides the sharding for one kernel call: work is the call's
+// multiply-add count, span the partitionable extent (output columns, or
+// lanes for attention), minSpan the smallest block worth owning, and
+// maxBlocks the scratch-imposed cap. Returns (nil, 1) when the call should
+// stay serial. The block count depends only on the pool size and the call
+// shape — never on load — so the partition, and with it every accumulator's
+// add sequence, is deterministic.
+func (m *Model) kernelBlocks(work, span, minSpan, maxBlocks int) (*kernelPool, int) {
+	p := m.kern.Load()
+	if p == nil || work < minParallelMadds || span < 2*minSpan {
+		return nil, 1
+	}
+	n := p.workers
+	if n > maxBlocks {
+		n = maxBlocks
+	}
+	if s := span / minSpan; n > s {
+		n = s
+	}
+	if n <= 1 {
+		return nil, 1
+	}
+	return p, n
+}
+
+// kernelScratch is per-session, per-block workspace: block bi's goroutine
+// owns dq[bi] and p[bi] exclusively for the duration of one dispatch (one
+// goroutine per block), so no synchronization is needed beyond the task
+// barrier.
+type kernelScratch struct {
+	// dq[bi] stages dequantized int8 weight rows for block bi: 12·maxW
+	// floats, enough for matLinear3Cols' three 4-row groups at full width.
+	// Empty when the model had no int8 store at session construction (the
+	// kernels then fall back to the float32 weights, which stay correct:
+	// dequantization is exact by the load-time invariant, so skipping it
+	// never changes output).
+	dq [][]float32
+	// p[bi] is block bi's attention score row ([Ctx] floats, batch path).
+	p [][]float32
+}

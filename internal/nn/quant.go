@@ -1,0 +1,291 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the int8 weight store (DESIGN.md §15): a per-row
+// affine encoding of the decode-path weight matrices that the kernels
+// dequantize on the fly. Quantization here is a storage/bandwidth format,
+// not an approximation — the kernels only ever multiply by
+// dequant(q) = zero + scale·float32(q+128), and a row is served from the
+// int8 store only when that expression reproduces the row's float32
+// weights bit-for-bit, verified at build time. Rows that do not round-trip
+// fall back to the retained float32 weights, so enabling the store can
+// never change a logit.
+//
+// Two build modes:
+//
+//   - QuantExact leaves the weights untouched and keeps only the rows that
+//     happen to round-trip. Arbitrary trained float32 weights essentially
+//     never land on a 256-point affine grid, so exact coverage is usually
+//     ~0 — it is the "do no harm" mode the -quantize flag defaults callers
+//     into when they want the invariant without committing to new weights.
+//   - QuantSnap first snaps each row's weights onto its own int8 grid
+//     (storing exactly the dequantized values back into W), then serves the
+//     row as int8. The dequant-equals-W invariant holds by construction, so
+//     coverage is total; the model's weights change once, at build time,
+//     and float32 and int8 kernels agree bitwise on the snapped weights
+//     from then on. This is the mode that actually halves weight traffic.
+type quantTensor struct {
+	out   int
+	q     []int8    // [in*out], row p at q[p*out:(p+1)*out], stored as qi-128
+	scale []float32 // [in] per-row scale
+	zero  []float32 // [in] per-row zero point (the row minimum)
+	ok    []bool    // [in] row round-trips exactly; !ok rows use float32 W
+	nOK   int
+}
+
+// Quantization modes accepted by Model.Quantize.
+const (
+	QuantExact = "exact"
+	QuantSnap  = "snap"
+)
+
+// dequantRow writes row p's columns [j0,j1) into dst. The expression
+// matches quantizeRow's verification term exactly, so for an ok row dst
+// equals the float32 weights bit-for-bit.
+func (t *quantTensor) dequantRow(p, j0, j1 int, dst []float32) {
+	s, z := t.scale[p], t.zero[p]
+	row := t.q[p*t.out+j0 : p*t.out+j1]
+	for i, qv := range row {
+		dst[i] = z + s*float32(int32(qv)+128)
+	}
+}
+
+// quantizeRow encodes one weight row on a 256-point affine grid anchored at
+// the row minimum. Reports whether the row is servable from the int8 store
+// (exact round-trip), and — in snap mode — whether any weight moved.
+func quantizeRow(w []float32, q []int8, scale, zero *float32, snap bool) (ok, moved bool) {
+	lo, hi := w[0], w[0]
+	for _, v := range w {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			return false, false
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	s := (hi - lo) / 255
+	if math.IsInf(float64(s), 0) {
+		return false, false // the row's span overflows float32
+	}
+	if s == 0 {
+		s = 1 // constant row: every qi is 0 and dequant yields lo exactly
+	}
+	*scale, *zero = s, lo
+	exact := true
+	for j, v := range w {
+		qi := int(math.Round(float64(v-lo) / float64(s)))
+		if qi < 0 {
+			qi = 0
+		} else if qi > 255 {
+			qi = 255
+		}
+		q[j] = int8(qi - 128)
+		dq := lo + s*float32(qi)
+		if math.Float32bits(dq) != math.Float32bits(v) {
+			if !snap {
+				exact = false
+			} else {
+				w[j] = dq
+				moved = true
+			}
+		}
+	}
+	if snap {
+		return true, moved
+	}
+	return exact, false
+}
+
+func quantizeTensor(w []float32, in, out int, snap bool) (*quantTensor, int) {
+	t := &quantTensor{
+		out:   out,
+		q:     make([]int8, in*out),
+		scale: make([]float32, in),
+		zero:  make([]float32, in),
+		ok:    make([]bool, in),
+	}
+	snapped := 0
+	for p := 0; p < in; p++ {
+		ok, moved := quantizeRow(w[p*out:(p+1)*out], t.q[p*out:(p+1)*out], &t.scale[p], &t.zero[p], snap)
+		t.ok[p] = ok
+		if ok {
+			t.nOK++
+		}
+		if moved {
+			snapped++
+		}
+	}
+	return t, snapped
+}
+
+// quantLayer mirrors layerParams for the decode-path GEMM weights.
+// LayerNorm gains/biases, biases, and the positional table stay float32:
+// they are O(D) per token, not worth a format.
+type quantLayer struct {
+	wq, wk, wv, wo, w1, w2 *quantTensor
+}
+
+// modelQuant is the model's int8 weight store.
+type modelQuant struct {
+	mode    string
+	layers  []quantLayer
+	tok     *quantTensor // tied LM head rows ([Vocab, D])
+	rows    int
+	okRows  int
+	snapped int
+}
+
+// layerTensors returns layer l's quant tensors; all nil on a nil store, so
+// call sites need no branching.
+func (mq *modelQuant) layerTensors(l int) (wq, wk, wv, wo, w1, w2 *quantTensor) {
+	if mq == nil {
+		return
+	}
+	ql := &mq.layers[l]
+	return ql.wq, ql.wk, ql.wv, ql.wo, ql.w1, ql.w2
+}
+
+func (mq *modelQuant) tokTensor() *quantTensor {
+	if mq == nil {
+		return nil
+	}
+	return mq.tok
+}
+
+// QuantStats summarizes an int8 weight store build.
+type QuantStats struct {
+	Mode string // "exact" or "snap"
+	// Rows is the total weight-matrix row count across the quantized
+	// tensors; Int8Rows of them round-tripped exactly and are served from
+	// the int8 store (the rest fall back to float32).
+	Rows     int
+	Int8Rows int
+	// Coverage is Int8Rows/Rows. Snapped counts rows whose weights moved
+	// onto the grid (snap mode only).
+	Coverage float64
+	Snapped  int
+}
+
+func (mq *modelQuant) stats() QuantStats {
+	st := QuantStats{Mode: mq.mode, Rows: mq.rows, Int8Rows: mq.okRows, Snapped: mq.snapped}
+	if mq.rows > 0 {
+		st.Coverage = float64(mq.okRows) / float64(mq.rows)
+	}
+	return st
+}
+
+// Quantize builds the model's int8 weight store over the decode-path GEMM
+// tensors (attention projections, MLP, tied head) and enables it. mode is
+// QuantExact or QuantSnap (see the file comment for the trade). Idempotent:
+// once a store exists, further calls — including clones re-applying engine
+// config mid-serve — return its stats without touching the weights again,
+// even if they name the other mode. The store is runtime state, not trained
+// state: Save never serializes it (snap-mode weight changes do persist,
+// since they are the weights), and a loaded model starts float32.
+func (m *Model) Quantize(mode string) (QuantStats, error) {
+	if mode != QuantExact && mode != QuantSnap {
+		return QuantStats{}, fmt.Errorf("nn: Quantize mode %q (want %q or %q)", mode, QuantExact, QuantSnap)
+	}
+	m.quantMu.Lock()
+	defer m.quantMu.Unlock()
+	if cur := m.quant.Load(); cur != nil {
+		return cur.stats(), nil
+	}
+	d := m.Cfg.Dim
+	f := m.Cfg.ff() * d
+	snap := mode == QuantSnap
+	mq := &modelQuant{mode: mode, layers: make([]quantLayer, len(m.layers))}
+	add := func(p *Param, in, out int) *quantTensor {
+		t, snapped := quantizeTensor(p.W, in, out, snap)
+		mq.rows += in
+		mq.okRows += t.nOK
+		mq.snapped += snapped
+		return t
+	}
+	for l := range m.layers {
+		ly := &m.layers[l]
+		mq.layers[l] = quantLayer{
+			wq: add(ly.wq, d, d), wk: add(ly.wk, d, d), wv: add(ly.wv, d, d),
+			wo: add(ly.wo, d, d), w1: add(ly.w1, d, f), w2: add(ly.w2, f, d),
+		}
+	}
+	mq.tok = add(m.tok, m.Cfg.Vocab, d)
+	m.quant.Store(mq)
+	m.quantOn.Store(true)
+	return mq.stats(), nil
+}
+
+// EnableQuant toggles whether the kernels read the int8 store (true after
+// Quantize). Reports whether a store exists; without one the call is a
+// no-op. The A/B switch the equivalence bench flips to compare int8 and
+// float32 kernels over identical weights.
+func (m *Model) EnableQuant(on bool) bool {
+	if m.quant.Load() == nil {
+		return false
+	}
+	m.quantOn.Store(on)
+	return true
+}
+
+// QuantEnabled reports whether kernels currently read the int8 store.
+func (m *Model) QuantEnabled() bool {
+	return m.quantOn.Load() && m.quant.Load() != nil
+}
+
+// QuantCoverage returns the fraction of weight-matrix rows served from the
+// int8 store (0 without one).
+func (m *Model) QuantCoverage() float64 {
+	mq := m.quant.Load()
+	if mq == nil || mq.rows == 0 {
+		return 0
+	}
+	return float64(mq.okRows) / float64(mq.rows)
+}
+
+// QuantInfo returns the store's build stats and whether one exists.
+func (m *Model) QuantInfo() (QuantStats, bool) {
+	mq := m.quant.Load()
+	if mq == nil {
+		return QuantStats{}, false
+	}
+	return mq.stats(), true
+}
+
+// activeQuant returns the int8 store if kernels should read it, else nil.
+func (m *Model) activeQuant() *modelQuant {
+	if !m.quantOn.Load() {
+		return nil
+	}
+	return m.quant.Load()
+}
+
+// AppendWeightBytesInt8 is AppendWeightBytes with the int8 store active:
+// rows served as int8 stream 1 byte per weight plus 8 bytes of row metadata
+// (scale + zero point); fallback rows stream their float32 weights. Equals
+// AppendWeightBytes when no store exists.
+func (m *Model) AppendWeightBytesInt8() int64 {
+	mq := m.quant.Load()
+	if mq == nil {
+		return m.AppendWeightBytes()
+	}
+	var n int64
+	acc := func(t *quantTensor) {
+		in := len(t.ok)
+		n += int64(t.nOK)*(int64(t.out)+8) + int64(in-t.nOK)*4*int64(t.out)
+	}
+	for l := range mq.layers {
+		ql := &mq.layers[l]
+		for _, t := range []*quantTensor{ql.wq, ql.wk, ql.wv, ql.wo, ql.w1, ql.w2} {
+			acc(t)
+		}
+	}
+	acc(mq.tok)
+	return n
+}

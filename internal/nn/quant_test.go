@@ -1,0 +1,299 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The int8 store's contract is quant.go's invariant: a row is served as
+// int8 only if dequantization reproduces its float32 weights bit-for-bit,
+// so enabling the store never changes a logit. These tests pin both modes
+// (exact: weights untouched, near-zero coverage on random weights; snap:
+// weights moved onto the grid once, total coverage) and the combination
+// with the sharded kernels.
+
+func TestQuantizeRow(t *testing.T) {
+	q := make([]int8, 4)
+	var s, z float32
+
+	// A constant row is exactly representable (every qi = 0).
+	ok, moved := quantizeRow([]float32{2.5, 2.5, 2.5, 2.5}, q, &s, &z, false)
+	if !ok || moved {
+		t.Fatalf("constant row: ok=%v moved=%v, want true,false", ok, moved)
+	}
+	tq := &quantTensor{out: 4, q: q, scale: []float32{s}, zero: []float32{z}, ok: []bool{true}}
+	dq := make([]float32, 4)
+	tq.dequantRow(0, 0, 4, dq)
+	for j, v := range dq {
+		if math.Float32bits(v) != math.Float32bits(2.5) {
+			t.Fatalf("constant row dequant[%d] = %v", j, v)
+		}
+	}
+
+	// NaN/Inf rows are never servable, in either mode.
+	for _, bad := range [][]float32{
+		{1, float32(math.NaN()), 2, 3},
+		{1, float32(math.Inf(1)), 2, 3},
+	} {
+		if ok, _ := quantizeRow(bad, q, &s, &z, true); ok {
+			t.Fatalf("row %v quantized ok", bad)
+		}
+	}
+
+	// Random weights in exact mode: not servable, and untouched.
+	rng := rand.New(rand.NewSource(1))
+	w := make([]float32, 64)
+	for i := range w {
+		w[i] = float32(rng.NormFloat64())
+	}
+	orig := append([]float32(nil), w...)
+	q = make([]int8, len(w))
+	if ok, _ := quantizeRow(w, q, &s, &z, false); ok {
+		t.Fatal("random float32 row round-tripped through int8 (vanishingly unlikely)")
+	}
+	for i := range w {
+		if math.Float32bits(w[i]) != math.Float32bits(orig[i]) {
+			t.Fatalf("exact mode moved w[%d]: %v -> %v", i, orig[i], w[i])
+		}
+	}
+
+	// The same row in snap mode: servable, moved, and dequant == w bitwise.
+	ok, moved = quantizeRow(w, q, &s, &z, true)
+	if !ok || !moved {
+		t.Fatalf("snap: ok=%v moved=%v, want true,true", ok, moved)
+	}
+	tq = &quantTensor{out: len(w), q: q, scale: []float32{s}, zero: []float32{z}, ok: []bool{true}}
+	dq = make([]float32, len(w))
+	tq.dequantRow(0, 0, len(w), dq)
+	for j := range w {
+		if math.Float32bits(dq[j]) != math.Float32bits(w[j]) {
+			t.Fatalf("snap dequant[%d] = %v, want %v", j, dq[j], w[j])
+		}
+	}
+}
+
+// TestQuantExactLeavesModelUnchanged: exact mode must be a pure no-op on
+// output — weights untouched, decode bit-identical with the store enabled.
+func TestQuantExactLeavesModelUnchanged(t *testing.T) {
+	cfg := Config{Vocab: 13, Ctx: 12, Dim: 24, Heads: 4, Layers: 2}
+	m := goldenModel(t, cfg, 800)
+	rng := rand.New(rand.NewSource(53))
+	seq := randSeq(rng, 8, cfg.Vocab)
+
+	decode := func() []float32 {
+		s := m.NewSession()
+		for _, tok := range seq {
+			if err := s.Append(tok); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return append([]float32(nil), s.Logits()...)
+	}
+	base := decode()
+	w0 := append([]float32(nil), m.layers[0].wq.W...)
+
+	st, err := m.Quantize(QuantExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Mode != QuantExact || st.Snapped != 0 {
+		t.Fatalf("exact stats: %+v", st)
+	}
+	for i := range w0 {
+		if math.Float32bits(m.layers[0].wq.W[i]) != math.Float32bits(w0[i]) {
+			t.Fatalf("exact Quantize moved wq[%d]", i)
+		}
+	}
+	if !m.QuantEnabled() {
+		t.Fatal("Quantize did not enable the store")
+	}
+	compareLogitsBits(t, decode(), base, "exact-quantized decode")
+}
+
+// TestQuantSnapInt8MatchesFloat32 is the tentpole equivalence: after snap,
+// the int8 kernels and the float32 kernels decode identical logits over the
+// same (snapped) weights — serial and sharded, batch and solo.
+func TestQuantSnapInt8MatchesFloat32(t *testing.T) {
+	forceParallel(t)
+	cfg := Config{Vocab: 13, Ctx: 16, Dim: 24, Heads: 4, Layers: 2}
+	m := goldenModel(t, cfg, 810)
+	st, err := m.Quantize(QuantSnap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Coverage != 1 {
+		t.Fatalf("snap coverage %v, want 1 (stats %+v)", st.Coverage, st)
+	}
+	if st.Snapped == 0 {
+		t.Fatal("snap moved no rows on random weights")
+	}
+
+	rng := rand.New(rand.NewSource(59))
+	seqs := laneSchedule(rng, 3, 2, cfg.Ctx, cfg.Vocab)
+	steps := buildSchedule(rng, seqs)
+
+	m.EnableQuant(false)
+	base := replaySchedule(t, m, len(seqs), steps)
+	for _, w := range []int{1, 3, 8} {
+		setWorkers(t, m, w)
+		m.EnableQuant(true)
+		got := replaySchedule(t, m, len(seqs), steps)
+		m.EnableQuant(false)
+		f32 := replaySchedule(t, m, len(seqs), steps)
+		for i := range base {
+			compareLogitsBits(t, got[i], base[i], "int8 kernels")
+			compareLogitsBits(t, f32[i], base[i], "float32 kernels on snapped weights")
+		}
+	}
+}
+
+// TestQuantMixedFallback forces a mixed tensor — some rows servable, some
+// not — by hand-editing weights before an exact-mode build, covering the
+// per-row fallback inside one 4-row kernel block.
+func TestQuantMixedFallback(t *testing.T) {
+	forceParallel(t)
+	cfg := Config{Vocab: 13, Ctx: 12, Dim: 24, Heads: 4, Layers: 2}
+	m := goldenModel(t, cfg, 820)
+	// Make alternating rows of every GEMM tensor exactly representable
+	// (constant rows), leaving their neighbours as random float32.
+	d := cfg.Dim
+	f := cfg.ff() * d
+	constRows := func(w []float32, in, out int) {
+		for p := 0; p < in; p += 2 {
+			for j := 0; j < out; j++ {
+				w[p*out+j] = float32(p%7) * 0.25
+			}
+		}
+	}
+	for l := range m.layers {
+		ly := &m.layers[l]
+		constRows(ly.wq.W, d, d)
+		constRows(ly.wk.W, d, d)
+		constRows(ly.wv.W, d, d)
+		constRows(ly.wo.W, d, d)
+		constRows(ly.w1.W, d, f)
+		constRows(ly.w2.W, f, d)
+	}
+	constRows(m.tok.W, cfg.Vocab, d)
+
+	rng := rand.New(rand.NewSource(61))
+	seq := randSeq(rng, 8, cfg.Vocab)
+	decode := func() []float32 {
+		s := m.NewSession()
+		for _, tok := range seq {
+			if err := s.Append(tok); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return append([]float32(nil), s.Logits()...)
+	}
+	base := decode()
+
+	st, err := m.Quantize(QuantExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Coverage == 0 || st.Coverage == 1 {
+		t.Fatalf("wanted a mixed store, got coverage %v", st.Coverage)
+	}
+	for _, w := range []int{1, 3} {
+		setWorkers(t, m, w)
+		compareLogitsBits(t, decode(), base, "mixed int8/float32 decode")
+	}
+}
+
+// TestQuantIdempotent: a second Quantize — even naming the other mode —
+// returns the existing store untouched, so engine clones re-applying config
+// cannot re-snap weights mid-serve.
+func TestQuantIdempotent(t *testing.T) {
+	m := goldenModel(t, Config{Vocab: 8, Ctx: 4, Dim: 8, Heads: 2, Layers: 1}, 830)
+	st1, err := m.Quantize(QuantSnap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := m.quant.Load()
+	st2, err := m.Quantize(QuantExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2 != st1 {
+		t.Fatalf("second Quantize returned %+v, want %+v", st2, st1)
+	}
+	if m.quant.Load() != store {
+		t.Fatal("second Quantize rebuilt the store")
+	}
+	if _, err := m.Quantize("bogus"); err == nil {
+		t.Fatal("Quantize accepted a bogus mode")
+	}
+}
+
+func TestEnableQuantWithoutStore(t *testing.T) {
+	m := goldenModel(t, Config{Vocab: 8, Ctx: 4, Dim: 8, Heads: 2, Layers: 1}, 840)
+	if m.EnableQuant(true) {
+		t.Fatal("EnableQuant reported a store on a fresh model")
+	}
+	if m.QuantEnabled() {
+		t.Fatal("QuantEnabled true without a store")
+	}
+	if m.QuantCoverage() != 0 {
+		t.Fatal("QuantCoverage nonzero without a store")
+	}
+}
+
+// TestQuantWeightBytes: the int8 store must actually cut the per-token
+// weight traffic accounting, and the accounting must degrade to the
+// float32 number without a store.
+func TestQuantWeightBytes(t *testing.T) {
+	m := goldenModel(t, Config{Vocab: 16, Ctx: 8, Dim: 32, Heads: 4, Layers: 2}, 850)
+	if got, want := m.AppendWeightBytesInt8(), m.AppendWeightBytes(); got != want {
+		t.Fatalf("no store: int8 bytes %d, float32 bytes %d", got, want)
+	}
+	if _, err := m.Quantize(QuantSnap); err != nil {
+		t.Fatal(err)
+	}
+	f32, i8 := m.AppendWeightBytes(), m.AppendWeightBytesInt8()
+	if i8 >= f32 {
+		t.Fatalf("int8 bytes %d not below float32 bytes %d", i8, f32)
+	}
+	// 1 byte/weight + 8 bytes/row metadata vs 4 bytes/weight: comfortably
+	// under a third at these shapes.
+	if 3*i8 >= f32+3*8*int64(m.Cfg.Vocab+10*m.Cfg.Dim) {
+		t.Fatalf("int8 bytes %d implausibly high vs float32 %d", i8, f32)
+	}
+}
+
+// TestQuantNotSerialized: Save/Load round-trips the snapped weights but not
+// the store — a loaded model decodes float32 until Quantize is called, and
+// produces the same logits either way.
+func TestQuantNotSerialized(t *testing.T) {
+	cfg := Config{Vocab: 13, Ctx: 12, Dim: 24, Heads: 4, Layers: 2}
+	m := goldenModel(t, cfg, 860)
+	if _, err := m.Quantize(QuantSnap); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, hasStore := m2.QuantInfo(); hasStore {
+		t.Fatal("loaded model has an int8 store")
+	}
+	rng := rand.New(rand.NewSource(67))
+	seq := randSeq(rng, 8, cfg.Vocab)
+	decode := func(m *Model) []float32 {
+		s := m.NewSession()
+		for _, tok := range seq {
+			if err := s.Append(tok); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return append([]float32(nil), s.Logits()...)
+	}
+	compareLogitsBits(t, decode(m2), decode(m), "loaded snapped model")
+}

@@ -30,6 +30,9 @@ type Session struct {
 	x, ln, q, k, v, attn, proj, mlp []float32 // [Dim]
 	hbuf, hg                        []float32 // [ff*Dim]
 	p                               []float32 // [Ctx] attention row, used up to pos+1
+	// Kernel-dispatch scratch (dequant staging). Sized at construction, so a
+	// session created before Quantize simply decodes from float32 weights.
+	sc kernelScratch
 }
 
 // NewSession starts an empty decoding session. KV pages are allocated as
@@ -55,6 +58,12 @@ func (s *Session) initScratch() {
 	s.hbuf = make([]float32, f)
 	s.hg = make([]float32, f)
 	s.p = make([]float32, s.m.Cfg.Ctx)
+	if s.m.quant.Load() != nil {
+		s.sc.dq = make([][]float32, s.m.KernelWorkers())
+		for i := range s.sc.dq {
+			s.sc.dq[i] = make([]float32, 12*f)
+		}
+	}
 }
 
 // Len reports the number of tokens consumed.
@@ -98,12 +107,14 @@ func (s *Session) Append(tok int) error {
 
 	ln, q, k, v, attn := s.ln, s.q, s.k, s.v, s.attn
 	hbuf, hg := s.hbuf, s.hg
+	mq := m.activeQuant()
 	for l := range m.layers {
 		ly := &m.layers[l]
 		tensor.LayerNormRow(ln, x, ly.ln1g.W, ly.ln1b.W)
 
 		// Project q/k/v in one fused pass over the layer-norm row.
-		vecLinear3(q, k, v, ln, ly.wq.W, ly.wk.W, ly.wv.W, ly.bq.W, ly.bk.W, ly.bv.W, d, d)
+		tq, tk, tv, two, tw1, tw2 := mq.layerTensors(l)
+		m.gemm3(q, k, v, ln, ly.wq.W, ly.wk.W, ly.wv.W, ly.bq.W, ly.bk.W, ly.bv.W, tq, tk, tv, d, d, 1, &s.sc)
 
 		// Scatter this position's k/v into its page, head-major.
 		kp, vp := page.k[l], page.v[l]
@@ -154,26 +165,25 @@ func (s *Session) Append(tok int) error {
 		}
 
 		proj := s.proj
-		vecLinear(proj, attn, ly.wo.W, ly.bo.W, d, d)
+		m.gemm(proj, attn, ly.wo.W, ly.bo.W, two, d, d, 1, &s.sc)
 		for j := range x {
 			x[j] += proj[j]
 		}
 
 		tensor.LayerNormRow(ln, x, ly.ln2g.W, ly.ln2b.W)
-		vecLinear(hbuf, ln, ly.w1.W, ly.b1.W, d, f)
+		m.gemm(hbuf, ln, ly.w1.W, ly.b1.W, tw1, d, f, 1, &s.sc)
 		tensor.GELU(hg, hbuf)
 		mlp := s.mlp
-		vecLinear(mlp, hg, ly.w2.W, ly.b2.W, f, d)
+		m.gemm(mlp, hg, ly.w2.W, ly.b2.W, tw2, f, d, 1, &s.sc)
 		for j := range x {
 			x[j] += mlp[j]
 		}
 	}
 
 	tensor.LayerNormRow(ln, x, m.lnfg.W, m.lnfb.W)
-	// Tied head: logits[v] = ⟨ln, tok_v⟩.
-	for v := 0; v < m.Cfg.Vocab; v++ {
-		s.logits[v] = tensor.Dot(ln, m.tok.W[v*d:(v+1)*d])
-	}
+	// Tied head: logits[v] = ⟨ln, tok_v⟩, vocab-sharded across the worker
+	// group when the dispatch is worth it.
+	m.headLogits(s.logits, ln, nil, 1, &s.sc)
 	s.pos++
 	return nil
 }
@@ -288,17 +298,21 @@ func vecLinear(y, x, w, b []float32, in, out int) {
 	}
 }
 
-// accumBlock4 folds four input rows (w, a [4, out] block) into y with one
-// accumulator per element and adds in ascending input order — the FP
-// operation sequence of four scalar passes. Factored out so each projection's
-// inner loop gets its own register allocation scope; with the three loops
-// inlined into one function body the live slice headers spill and the fused
-// projection ran ~50% slower than three separate ones.
-func accumBlock4(y, w []float32, out int, x0, x1, x2, x3 float32) {
-	r0 := w[:out]
-	r1 := w[out : 2*out]
-	r2 := w[2*out : 3*out]
-	r3 := w[3*out : 4*out]
+// accumBlock4 folds four input rows (w, a 4-row block at the given row
+// stride) into y with one accumulator per element and adds in ascending
+// input order — the FP operation sequence of four scalar passes. Factored
+// out so each projection's inner loop gets its own register allocation
+// scope; with the three loops inlined into one function body the live slice
+// headers spill and the fused projection ran ~50% slower than three
+// separate ones. The bounds are len(y) past each row start (not stride
+// multiples) so a column-range caller (matLinearCols with j0 > 0) stays in
+// bounds on the weight matrix's last 4-row block.
+func accumBlock4(y, w []float32, stride int, x0, x1, x2, x3 float32) {
+	n := len(y)
+	r0 := w[:n]
+	r1 := w[stride : stride+n]
+	r2 := w[2*stride : 2*stride+n]
+	r3 := w[3*stride : 3*stride+n]
 	for j := range y {
 		a := y[j]
 		a += x0 * r0[j]

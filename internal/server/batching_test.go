@@ -256,7 +256,14 @@ func TestServeEndToEnd(t *testing.T) {
 		resp.Body.Close()
 		late <- resp.StatusCode
 	}()
-	time.Sleep(5 * time.Millisecond) // let the request reach the queue
+	// Wait until the late request has actually reached the server — still
+	// queued or already answered — before cancelling. A fixed sleep flakes
+	// when the host is oversubscribed (e.g. the -race suite) and the POST
+	// has not yet connected when the listener closes.
+	waitFor(t, func() bool {
+		snap := s.Metrics().Snapshot()
+		return snap.QueueDepth > 0 || snap.Requests["impute"][http.StatusOK] > uint64(n)
+	})
 	cancel()
 	if err := <-serveErr; err != nil {
 		t.Fatalf("Serve returned %v", err)
