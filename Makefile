@@ -5,7 +5,7 @@ GO ?= go
 #   make bench-serve BENCH_OUT=BENCH_3.json
 BENCH_OUT ?= bench.json
 
-.PHONY: all tier1 verify bench perf bench-serve bench-spec bench-pack bench-cores fmt clean
+.PHONY: all tier1 verify bench perf bench-serve bench-spec bench-pack bench-cores bench-load fmt clean
 
 all: verify
 
@@ -21,7 +21,7 @@ verify: tier1
 	$(GO) vet ./...
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
-	GOMAXPROCS=4 $(GO) test -race ./internal/core/... ./internal/smt/... ./internal/nn/... ./internal/server/... ./internal/prefixcache/... ./internal/pack/...
+	GOMAXPROCS=4 $(GO) test -race ./internal/core/... ./internal/smt/... ./internal/nn/... ./internal/server/... ./internal/router/... ./internal/prefixcache/... ./internal/pack/...
 
 # Kernel microbenchmarks (vs seed-copy references) plus the perf figure,
 # which writes the machine-readable report.
@@ -60,6 +60,16 @@ bench-cores:
 	@if [ "$$(nproc)" -le 1 ]; then \
 		echo "bench-cores: single-CPU host — report will carry null speedups and a warning"; fi
 	$(GO) run ./cmd/lejit-bench -scale tiny -fig cores -json $(BENCH_OUT)
+
+# Open-loop load sweep (BENCH_9.json in the committed tree): Poisson
+# arrivals against lejitd fleets of 1, 2, and 4 engine shards at 4 offered
+# rates, half the requests streamed over SSE. lejit-bench itself hard-fails
+# unless streamed==unary bit-identity holds and zero mis-seeded/stale-epoch
+# responses were observed. LOAD_CONNS caps in-flight connections (CI uses a
+# small cap; the default exercises 10k).
+LOAD_CONNS ?= 10000
+bench-load:
+	$(GO) run ./cmd/lejit-bench -scale tiny -fig load -json $(BENCH_OUT) -load-conns $(LOAD_CONNS)
 
 fmt:
 	gofmt -w .

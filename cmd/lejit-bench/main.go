@@ -31,7 +31,7 @@ func main() {
 
 func run() error {
 	scale := flag.String("scale", "default", "default|tiny")
-	figs := flag.String("fig", "all", "comma-separated: 3l,3r,4l,4r,5,abl,perf,serve,spec,pack,cores (all = every figure except serve, spec, pack, and cores)")
+	figs := flag.String("fig", "all", "comma-separated: 3l,3r,4l,4r,5,abl,perf,serve,spec,pack,cores,load (all = every figure except serve, spec, pack, cores, and load)")
 	testN := flag.Int("testn", 0, "override test-record count")
 	sampleN := flag.Int("samplen", 0, "override synthesis sample count")
 	racks := flag.Int("racks", 0, "override total rack count")
@@ -44,6 +44,7 @@ func run() error {
 	kernelWorkers := flag.Int("kernel-workers", 0, "GEMM worker-group size for figure decodes (0 = leave serial, <0 = GOMAXPROCS)")
 	quantize := flag.String("quantize", "", "weight quantization for figure decodes: exact|snap ('' = off)")
 	lookahead := flag.Int("lookahead", 0, "speculative window for -fig spec: 0 sweeps {0,2,4,8,16}, k>0 compares {0,k}")
+	loadConns := flag.Int("load-conns", 0, "in-flight connection cap for -fig load (0 = default 10000)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	quiet := flag.Bool("q", false, "suppress progress logs")
@@ -175,7 +176,7 @@ func run() error {
 		}
 		fmt.Println(experiments.AblationTable("Ablation: decoding strategy (sampling vs greedy vs beam)", db).Render())
 	}
-	if all || want["perf"] || (*jsonOut != "" && !want["serve"] && !want["spec"] && !want["pack"] && !want["cores"]) {
+	if all || want["perf"] || (*jsonOut != "" && !want["serve"] && !want["spec"] && !want["pack"] && !want["cores"] && !want["load"]) {
 		rep, err := experiments.RunPerf(env, nil)
 		if err != nil {
 			return err
@@ -256,6 +257,35 @@ func run() error {
 				return err
 			}
 			fmt.Printf("# cores report written to %s\n", *jsonOut)
+		}
+	}
+	// The open-loop load sweep spins up multi-shard lejitd fleets and drives
+	// thousands of connections, so it only runs when asked for explicitly —
+	// it is not part of "all". It hard-fails on any correctness violation:
+	// the curve is meaningless if the fleet returned wrong bytes fast.
+	if want["load"] {
+		rep, err := experiments.RunLoadBench(env, experiments.LoadBenchConfig{Conns: *loadConns})
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.LoadTable(rep).Render())
+		if rep.Warning != "" {
+			fmt.Printf("# warning: %s\n", rep.Warning)
+		}
+		if !rep.StreamedMatchesUnary {
+			return fmt.Errorf("load bench: streamed responses diverged from unary (see table)")
+		}
+		if rep.MisSeeded > 0 || rep.StaleEpochs > 0 {
+			return fmt.Errorf("load bench: %d mis-seeded and %d stale-epoch responses", rep.MisSeeded, rep.StaleEpochs)
+		}
+		if rep.Errors > 0 {
+			return fmt.Errorf("load bench: %d transport or unexpected-status errors", rep.Errors)
+		}
+		if *jsonOut != "" {
+			if err := rep.WriteJSON(*jsonOut); err != nil {
+				return err
+			}
+			fmt.Printf("# load report written to %s\n", *jsonOut)
 		}
 	}
 	// The serving load test spins up a real lejitd instance, so it only

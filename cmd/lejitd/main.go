@@ -64,9 +64,11 @@ func run() error {
 	var extraPacks packFlags
 	flag.Var(&extraPacks, "pack", "extra domain pack as MANIFEST:RULES[:MODEL] file paths (repeatable); without MODEL the pack decodes under a uniform LM")
 	defaultPack := flag.String("default-pack", pack.TelemetryName, "pack used by requests that do not select one")
-	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "how long to hold the micro-batch open after the first request")
+	replicas := flag.Int("replicas", 1, "engine shards behind the load-aware router; each runs its own micro-batcher and engine clones, prefix caches stay shared")
+	shardFailures := flag.Int("shard-failure-threshold", 8, "drain a shard (fresh engine clones, queued jobs redistributed) after this many budget/panic lane failures; <0 disables")
+	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "how long each shard holds the micro-batch open after the first request")
 	maxBatch := flag.Int("max-batch", 32, "max records coalesced per decode batch")
-	queueDepth := flag.Int("queue", 256, "admission queue depth (full queue answers 429)")
+	queueDepth := flag.Int("queue", 256, "total admission queue depth across shards (full queues answer 429)")
 	workers := flag.Int("workers", 0, "decode workers per batch (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown bound after SIGTERM")
@@ -119,6 +121,7 @@ func run() error {
 	}
 	srv, err := server.New(server.Config{
 		Packs: reg, DefaultPack: *defaultPack,
+		Replicas: *replicas, ShardFailureThreshold: *shardFailures,
 		BatchWindow: *batchWindow, MaxBatch: *maxBatch, QueueDepth: *queueDepth,
 		Workers: *workers, Timeout: *timeout, DrainTimeout: *drainTimeout,
 		Seed: *seed, DegradedThreshold: *degradedThreshold,
@@ -156,8 +159,8 @@ func run() error {
 		defer psrv.Close()
 		logf("lejitd: pprof on %s", pl.Addr())
 	}
-	logf("lejitd: serving packs %v on %s (default %s, batch window %v, max batch %d, queue %d)",
-		reg.Names(), l.Addr(), *defaultPack, *batchWindow, *maxBatch, *queueDepth)
+	logf("lejitd: serving packs %v on %s (default %s, replicas %d, batch window %v, max batch %d, queue %d)",
+		reg.Names(), l.Addr(), *defaultPack, *replicas, *batchWindow, *maxBatch, *queueDepth)
 	return srv.Serve(ctx, l)
 }
 

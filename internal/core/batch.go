@@ -68,6 +68,31 @@ func prefixCacheDisabled(ctx context.Context) bool {
 	return off
 }
 
+// emitKey carries a per-request slot-emit hook (streaming responses).
+type emitKey struct{}
+
+// EmitFn receives one completed slot's rendered text (digits plus trailing
+// separator) as soon as the decode has proven it exact. Chunks arrive in slot
+// order and their concatenation equals the full rendered line byte for byte.
+// Implementations run on the decoding goroutine and must not block.
+type EmitFn func(slot int, text string)
+
+// WithEmit returns a context under which guided decodes stream each
+// completed slot to fn at the moment it becomes exact: immediately on the
+// non-speculative path, and at window commit on the speculative one — a slot
+// inside an open lookahead window is never emitted, so a rollback can never
+// retract streamed bytes (DESIGN.md §16). The serving layer uses it for SSE
+// responses; callers invoking ImputeCtx/GenerateCtx directly can too.
+func WithEmit(ctx context.Context, fn EmitFn) context.Context {
+	return context.WithValue(ctx, emitKey{}, fn)
+}
+
+// emitFor resolves the slot-emit hook for a decode (nil → no streaming).
+func emitFor(ctx context.Context) EmitFn {
+	fn, _ := ctx.Value(emitKey{}).(EmitFn)
+	return fn
+}
+
 // lookaheadKey carries a per-request speculation-window override.
 type lookaheadKey struct{}
 

@@ -77,6 +77,15 @@ type laneDecoder struct {
 	// stack that the fresh oracle may start from (see rollbackTo).
 	mergeO    *slotOracle
 	mergeMark int
+
+	// Streaming state (WithEmit, DESIGN.md §16). emitTok/emitSlots mark how
+	// far along key the hook has been fed; flushEmit only ever runs outside
+	// an open speculation window, so everything at or before emitTok is
+	// committed and a rollback (which truncates to a checkpoint taken after
+	// the last flush) can never cut below it.
+	emit      EmitFn
+	emitTok   int // tokens of key already rendered to the hook
+	emitSlots int // slots already rendered to the hook
 }
 
 // promptPlan is a prompt rendered and tokenized once. The lock-step
@@ -115,7 +124,7 @@ func (e *Engine) newLaneDecoderPlan(ctx context.Context, known rules.Record, rng
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	ld := &laneDecoder{e: e, ctx: ctx, rng: rng, draw: rng, known: known}
+	ld := &laneDecoder{e: e, ctx: ctx, rng: rng, draw: rng, known: known, emit: emitFor(ctx)}
 	if plan == nil {
 		plan = e.planPrompt(known)
 	}
@@ -502,7 +511,42 @@ func (ld *laneDecoder) advance(tok int) error {
 		ld.res.Rec = e.assemble(ld.known, ld.fromSlot, ld.vals)
 		ld.finish()
 	}
+	// Stream newly completed slots, but never from inside an open lookahead
+	// window: a rollback may still erase them. resolveWindow above has
+	// already settled full/complete windows, so commits flush here too.
+	if ld.emit != nil && (ld.spec == nil || !ld.spec.open) {
+		ld.flushEmit()
+	}
 	return nil
+}
+
+// flushEmit renders every completed-but-unstreamed slot of key to the emit
+// hook. Must only be called outside an open speculation window (advance
+// guards this), which is what makes streamed chunks irrevocable: the first
+// checkpoint of any later window sits at or past emitTok, so no rollback
+// truncates below it.
+func (ld *laneDecoder) flushEmit() {
+	e := ld.e
+	for ld.emitSlots < ld.keySlots {
+		if ld.emitTok == 0 {
+			ld.emitTok = 1 // key[0] is BOS, which renders to nothing
+		}
+		sep := e.cfg.Tok.ID(e.cfg.Slots[ld.emitSlots].Sep)
+		end := ld.emitTok
+		for end < len(ld.key) && ld.key[end] != sep {
+			end++
+		}
+		if end >= len(ld.key) {
+			return // slot still incomplete (unreachable while emitSlots < keySlots)
+		}
+		buf := make([]byte, 0, end+1-ld.emitTok)
+		for _, tok := range ld.key[ld.emitTok : end+1] {
+			buf = append(buf, e.cfg.Tok.Char(tok))
+		}
+		ld.emit(ld.emitSlots, string(buf))
+		ld.emitTok = end + 1
+		ld.emitSlots++
+	}
 }
 
 // complete reports whether every slot has been decoded.

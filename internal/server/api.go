@@ -49,6 +49,14 @@ type DecodeRequest struct {
 	// path. The response is bit-identical for every value (DESIGN.md §13) —
 	// this is a latency knob, not a quality one.
 	Lookahead *int `json:"lookahead,omitempty"`
+	// Stream switches the response to Server-Sent Events: one "slot" event
+	// per completed grammar slot as the decode proves it exact, then a
+	// terminal "done" event carrying the full DecodeResponse (or an "error"
+	// event). The concatenated slot texts are bit-identical to the unary
+	// response's line field. Baseline modes (vanilla/rejection/posthoc)
+	// produce no slot events — only the terminal event — because they are
+	// not token-interruptible.
+	Stream bool `json:"stream,omitempty"`
 }
 
 // CheckRequest is the body of POST /v1/check.

@@ -98,10 +98,10 @@ func TestBackpressure(t *testing.T) {
 
 	// Request 1 is dequeued by the batcher and blocks on the gate.
 	go post()
-	waitFor(t, func() bool { return s.Metrics().Snapshot().Batches == 1 })
+	waitFor(t, s, func(sn Snapshot) bool { return sn.Batches == 1 })
 	// Request 2 sits in the queue (depth 1 → now full).
 	go post()
-	waitFor(t, func() bool { return s.Metrics().Snapshot().QueueDepth == 1 })
+	waitFor(t, s, func(sn Snapshot) bool { return sn.QueueDepth == 1 })
 
 	// Request 3 must bounce immediately.
 	resp, data := postJSON(t, ts, "/v1/impute", body)
@@ -153,7 +153,7 @@ func TestRequestTimeout(t *testing.T) {
 	if elapsed > 2*time.Second {
 		t.Errorf("timeout response took %v, want prompt return", elapsed)
 	}
-	waitFor(t, func() bool { return s.Metrics().Snapshot().Timeouts >= 1 })
+	waitFor(t, s, func(sn Snapshot) bool { return sn.Timeouts >= 1 })
 }
 
 // TestServeEndToEnd is the acceptance scenario: a real listener, ≥16
@@ -260,9 +260,8 @@ func TestServeEndToEnd(t *testing.T) {
 	// queued or already answered — before cancelling. A fixed sleep flakes
 	// when the host is oversubscribed (e.g. the -race suite) and the POST
 	// has not yet connected when the listener closes.
-	waitFor(t, func() bool {
-		snap := s.Metrics().Snapshot()
-		return snap.QueueDepth > 0 || snap.Requests["impute"][http.StatusOK] > uint64(n)
+	waitFor(t, s, func(sn Snapshot) bool {
+		return sn.QueueDepth > 0 || sn.Inflight > 0 || sn.Requests["impute"][http.StatusOK] > uint64(n)
 	})
 	cancel()
 	if err := <-serveErr; err != nil {
@@ -281,15 +280,11 @@ func TestServeEndToEnd(t *testing.T) {
 	}
 }
 
-// waitFor polls cond for up to 2s.
-func waitFor(t *testing.T, cond func() bool) {
+// waitFor blocks until cond holds of a metrics snapshot, waking on counter
+// mutations (Metrics.WaitUntil) rather than sleep-polling.
+func waitFor(t *testing.T, s *Server, cond func(Snapshot) bool) {
 	t.Helper()
-	deadline := time.Now().Add(2 * time.Second)
-	for time.Now().Before(deadline) {
-		if cond() {
-			return
-		}
-		time.Sleep(time.Millisecond)
+	if !s.Metrics().WaitUntil(5*time.Second, cond) {
+		t.Fatal("condition not reached within 5s")
 	}
-	t.Fatal("condition not reached within 2s")
 }

@@ -1,0 +1,102 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestShardFailoverE2E: with four engine shards and a hair-trigger failure
+// threshold, a request that exhausts its solver budget drains the shard it
+// decoded on — fresh clones, failure score reset — while every other request
+// stays bit-identical to an uninjected multi-replica run and the fleet keeps
+// serving. Determinism is what makes this checkable: output depends on
+// (prompt, seed) only, never on shard placement or drain timing.
+func TestShardFailoverE2E(t *testing.T) {
+	const budgetTarget = int64(60 + 10*9) // request 9 "stalls"
+	replicated := func(c *Config) {
+		c.Replicas = 4
+		c.ShardFailureThreshold = 1
+	}
+
+	clean := newFaultServer(t, nil, replicated)
+	cleanTS := httptest.NewServer(clean)
+	defer cleanTS.Close()
+	cleanCodes, cleanLines, _, _ := faultBatch(t, cleanTS)
+	for i, code := range cleanCodes {
+		if code != http.StatusOK {
+			t.Fatalf("uninjected run: request %d got %d", i, code)
+		}
+	}
+
+	hook := func(fs core.FaultSite) error {
+		if fs.Known == nil || len(fs.Known["TotalIngress"]) == 0 || fs.Tokens < 2 {
+			return nil
+		}
+		if fs.Known["TotalIngress"][0] == budgetTarget {
+			return fmt.Errorf("injected fault: %w", core.ErrBudget)
+		}
+		return nil
+	}
+	faulty := newFaultServer(t, hook, replicated)
+	ts := httptest.NewServer(faulty)
+	defer ts.Close()
+
+	codes, lines, statuses, _ := faultBatch(t, ts)
+	for i := range codes {
+		if i == 9 {
+			if codes[i] != http.StatusServiceUnavailable || statuses[i] != "budget" {
+				t.Errorf("faulted request: code %d status %q, want 503/budget", codes[i], statuses[i])
+			}
+			continue
+		}
+		if codes[i] != http.StatusOK {
+			t.Errorf("clean request %d got %d alongside the fault", i, codes[i])
+			continue
+		}
+		if lines[i] != cleanLines[i] {
+			t.Errorf("request %d changed by a draining shard:\n got %q\nwant %q", i, lines[i], cleanLines[i])
+		}
+	}
+
+	// The sick shard crossed its threshold and drained.
+	waitFor(t, faulty, func(sn Snapshot) bool { return sn.ShardDrains >= 1 })
+	drains := 0
+	for _, sh := range faulty.Router().Stats() {
+		drains += int(sh.Drains)
+		if sh.Failures != 0 {
+			t.Errorf("shard %d failure score %d not reset by drain", sh.Shard, sh.Failures)
+		}
+	}
+	if drains < 1 {
+		t.Errorf("no shard reports a drain (router stats)")
+	}
+
+	// The rejoined fleet keeps serving — including the shard that drained.
+	for i := 0; i < 8; i++ {
+		body := fmt.Sprintf(`{"known": {"TotalIngress": [%d], "Congestion": [0]}, "seed": %d}`, 55+i, 500+i)
+		resp, data := postJSON(t, ts, "/v1/impute", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("post-drain request %d: %d (%s)", i, resp.StatusCode, data)
+		}
+	}
+
+	// Drains are exported both aggregated and per shard.
+	_, data := getBody(t, ts.URL+"/metrics")
+	text := string(data)
+	if !strings.Contains(text, "lejitd_router_drains_total 1") {
+		t.Errorf("metrics missing router drain total:\n%s", grepMetric(text, "lejitd_router_drains"))
+	}
+	if !strings.Contains(text, "lejitd_shard_drains_total{") {
+		t.Errorf("metrics missing per-shard drain gauge:\n%s", grepMetric(text, "lejitd_shard"))
+	}
+
+	// The uninjected fleet never drained anything.
+	if snap := clean.Metrics().Snapshot(); snap.ShardDrains != 0 {
+		t.Errorf("clean fleet reports %d shard drains", snap.ShardDrains)
+	}
+}

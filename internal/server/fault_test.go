@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/nn"
+	"repro/internal/router"
 	"repro/internal/rules"
 	"repro/internal/vocab"
 )
@@ -225,26 +226,28 @@ func TestFaultInjectionE2E(t *testing.T) {
 	}
 }
 
-// TestExpiredDeadlineJob: a job whose deadline has already passed when the
-// batcher picks it up is not decoded; its lane is retired with the context
+// TestExpiredDeadlineJob: a job whose deadline has already passed when its
+// shard picks it up is not decoded; its lane is retired with the context
 // error and counted.
 func TestExpiredDeadlineJob(t *testing.T) {
 	s := newTestServer(t, nil)
 	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
 	defer cancel()
 	pk, _ := s.packs.Get(s.defaultPack)
-	j := &job{
-		ctx:    ctx,
-		prompt: rules.Record{"TotalIngress": {100}, "Congestion": {0}},
-		pk:     pk,
-		seed:   1,
-		start:  time.Now(),
-		resp:   make(chan jobResult, 1),
+	j := &router.Job{
+		Ctx:    ctx,
+		Prompt: rules.Record{"TotalIngress": {100}, "Congestion": {0}},
+		Pack:   pk,
+		Seed:   1,
+		Start:  time.Now(),
+		Resp:   make(chan router.Result, 1),
 	}
-	s.runBatch([]*job{j})
-	res := <-j.resp
-	if !errors.Is(res.err, context.DeadlineExceeded) {
-		t.Fatalf("expired job err %v, want DeadlineExceeded", res.err)
+	if _, ok := s.router.Submit(j); !ok {
+		t.Fatal("expired job refused admission")
+	}
+	res := <-j.Resp
+	if !errors.Is(res.Err, context.DeadlineExceeded) {
+		t.Fatalf("expired job err %v, want DeadlineExceeded", res.Err)
 	}
 	if got := s.Metrics().Snapshot().LanesRetired; got != 1 {
 		t.Errorf("lanes retired %d, want 1", got)
@@ -286,9 +289,9 @@ func TestDrainRefusalBeatsQueueFull(t *testing.T) {
 	// Request 1 blocks on the gate inside the batcher; request 2 fills the
 	// queue.
 	go post()
-	waitFor(t, func() bool { return s.Metrics().Snapshot().Batches == 1 })
+	waitFor(t, s, func(sn Snapshot) bool { return sn.Batches == 1 })
 	go post()
-	waitFor(t, func() bool { return s.Metrics().Snapshot().QueueDepth == 1 })
+	waitFor(t, s, func(sn Snapshot) bool { return sn.QueueDepth == 1 })
 
 	s.draining.Store(true)
 	resp, data := postJSON(t, ts, "/v1/impute", body)
@@ -326,11 +329,12 @@ func TestWriteDecodeResultMapping(t *testing.T) {
 		{"panic", &core.PanicError{Value: "boom"}, http.StatusInternalServerError, "panic"},
 		{"lane-wrapped", &nn.LaneError{Lane: 3, Err: fmt.Errorf("context length exceeded")}, http.StatusInternalServerError, ""},
 		{"lane-wrapped-budget", fmt.Errorf("retired: %w", &nn.LaneError{Lane: 1, Err: core.ErrBudget}), http.StatusServiceUnavailable, "budget"},
+		{"drain-overloaded", router.ErrOverloaded, http.StatusServiceUnavailable, "overloaded"},
 	}
 	for _, tc := range cases {
 		rec := httptest.NewRecorder()
 		pk, _ := s.packs.Get(s.defaultPack)
-		code := s.writeDecodeResult(rec, &job{pk: pk}, jobResult{err: tc.err})
+		code := s.writeDecodeResult(rec, pk, router.Result{Err: tc.err})
 		if code != tc.wantCode {
 			t.Errorf("%s: code %d, want %d", tc.name, code, tc.wantCode)
 		}
@@ -388,18 +392,20 @@ func TestBatcherRestartsAfterPanic(t *testing.T) {
 	ts := httptest.NewServer(s)
 	defer ts.Close()
 
-	poisoned := make(chan jobResult, 1)
+	poisoned := make(chan router.Result, 1)
 	close(poisoned)
 	pk, _ := s.packs.Get(s.defaultPack)
-	s.queue <- &job{
-		ctx:    context.Background(),
-		prompt: rules.Record{"TotalIngress": {100}, "Congestion": {0}},
-		pk:     pk,
-		seed:   1,
-		start:  time.Now(),
-		resp:   poisoned, // delivery panics: send on closed channel
+	if _, ok := s.router.Submit(&router.Job{
+		Ctx:    context.Background(),
+		Prompt: rules.Record{"TotalIngress": {100}, "Congestion": {0}},
+		Pack:   pk,
+		Seed:   1,
+		Start:  time.Now(),
+		Resp:   poisoned, // delivery panics: send on closed channel
+	}); !ok {
+		t.Fatal("poisoned job refused admission")
 	}
-	waitFor(t, func() bool { return s.Metrics().Snapshot().BatcherRestarts >= 1 })
+	waitFor(t, s, func(sn Snapshot) bool { return sn.BatcherRestarts >= 1 })
 
 	resp, data := postJSON(t, ts, "/v1/impute", `{"known": {"TotalIngress": [90], "Congestion": [0]}, "seed": 2}`)
 	if resp.StatusCode != http.StatusOK {

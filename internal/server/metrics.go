@@ -6,9 +6,11 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/pack"
 	"repro/internal/prefixcache"
+	"repro/internal/router"
 )
 
 // histogram is a fixed-bucket Prometheus histogram. Buckets are cumulative
@@ -96,20 +98,71 @@ type Metrics struct {
 	lanesRetired    uint64
 	batcherRestarts uint64
 
-	queueDepth func() int // sampled at scrape time
+	// Scale-out counters: requests admitted past backpressure (a request
+	// still decoding has been admitted but not yet counted in requests, so
+	// this is the honest "accepted work" number), SSE streaming responses,
+	// and router shards drained after crossing their failure threshold.
+	admitted    uint64
+	streams     uint64
+	shardDrains uint64
+
+	ttft *histogram // streaming time-to-first-chunk seconds (admission → first slot event)
+
+	// cond is broadcast on every counter mutation so WaitUntil can sleep on
+	// state changes instead of polling.
+	cond *sync.Cond
+
+	// load samples router state — (queued, admitted-but-unfinished) — at
+	// scrape time. The second gauge is the backpressure-honest one: a full
+	// in-flight batch with an empty queue still reports its jobs here.
+	load func() (queued, inflight int)
+	// shardStats samples per-shard router state at scrape time. May be nil.
+	shardStats func() []router.ShardStats
 	// packStats samples per-pack runtime state (prefix-cache counters,
 	// reload counters) from the pack registry at scrape time. May be nil.
 	packStats func() map[string]pack.RuntimeStats
 }
 
-func newMetrics(queueDepth func() int, packStats func() map[string]pack.RuntimeStats) *Metrics {
-	return &Metrics{
+func newMetrics(load func() (int, int), shardStats func() []router.ShardStats, packStats func() map[string]pack.RuntimeStats) *Metrics {
+	m := &Metrics{
 		requests:   map[string]map[string]map[int]uint64{},
 		perPack:    map[string]*packCounters{},
 		batchSize:  newHistogram([]float64{1, 2, 4, 8, 16, 32, 64}),
 		latency:    newHistogram([]float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}),
-		queueDepth: queueDepth,
+		ttft:       newHistogram([]float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}),
+		load:       load,
+		shardStats: shardStats,
 		packStats:  packStats,
+	}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// WaitUntil blocks until pred holds of a live snapshot or timeout elapses,
+// returning whether it held. It sleeps on the metrics condition variable —
+// every mutator broadcasts — so callers get wakeups on state changes instead
+// of sleep-polling. Router gauges (queue depth, inflight) are sampled fresh
+// at each wakeup; a mutation that indirectly changes them (an admission, a
+// dispatched batch, a delivered result) triggers re-evaluation.
+func (m *Metrics) WaitUntil(timeout time.Duration, pred func(Snapshot) bool) bool {
+	expired := false
+	timer := time.AfterFunc(timeout, func() {
+		m.mu.Lock()
+		expired = true
+		m.cond.Broadcast()
+		m.mu.Unlock()
+	})
+	defer timer.Stop()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if pred(m.snapshotLocked()) {
+			return true
+		}
+		if expired {
+			return false
+		}
+		m.cond.Wait()
 	}
 }
 
@@ -130,11 +183,13 @@ func (m *Metrics) countRequest(route, pk string, code int) {
 	if code == 429 {
 		m.rejected++
 	}
+	m.cond.Broadcast()
 }
 
 func (m *Metrics) countTimeout() {
 	m.mu.Lock()
 	m.timeouts++
+	m.cond.Broadcast()
 	m.mu.Unlock()
 }
 
@@ -142,12 +197,45 @@ func (m *Metrics) observeBatch(size int) {
 	m.mu.Lock()
 	m.batches++
 	m.batchSize.observe(float64(size))
+	m.cond.Broadcast()
 	m.mu.Unlock()
 }
 
 func (m *Metrics) observeLatency(seconds float64) {
 	m.mu.Lock()
 	m.latency.observe(seconds)
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// noteAdmitted records one request past admission control. Broadcasting here
+// matters beyond the counter itself: admission changes the router's queue and
+// inflight gauges, and this is the wakeup that lets WaitUntil observe them.
+func (m *Metrics) noteAdmitted() {
+	m.mu.Lock()
+	m.admitted++
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+func (m *Metrics) countStream() {
+	m.mu.Lock()
+	m.streams++
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+func (m *Metrics) observeTTFT(seconds float64) {
+	m.mu.Lock()
+	m.ttft.observe(seconds)
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+func (m *Metrics) countShardDrain() {
+	m.mu.Lock()
+	m.shardDrains++
+	m.cond.Broadcast()
 	m.mu.Unlock()
 }
 
@@ -179,12 +267,14 @@ func (m *Metrics) countLaneRetired(budget, panicked bool) {
 	if panicked {
 		m.panicsRecovered++
 	}
+	m.cond.Broadcast()
 	m.mu.Unlock()
 }
 
 func (m *Metrics) countBatcherRestart() {
 	m.mu.Lock()
 	m.batcherRestarts++
+	m.cond.Broadcast()
 	m.mu.Unlock()
 }
 
@@ -223,6 +313,10 @@ type Snapshot struct {
 	Tokens        uint64
 	SolverChecks  uint64
 	QueueDepth    int
+	// Inflight counts requests admitted but not yet answered — queued plus
+	// decoding. A full in-flight batch with an empty queue shows up here,
+	// which the queue gauge alone would report as zero load.
+	Inflight int
 
 	SpecAcceptedTokens uint64
 	SpecRollbacks      uint64
@@ -231,6 +325,13 @@ type Snapshot struct {
 	PanicsRecovered uint64
 	LanesRetired    uint64
 	BatcherRestarts uint64
+
+	// Scale-out state: cumulative admissions, SSE streaming responses,
+	// router shard drains, and the per-shard gauge sample.
+	Admitted    uint64
+	Streams     uint64
+	ShardDrains uint64
+	Shards      []router.ShardStats
 
 	// Prefix sums the per-pack prefix-cache counters at snapshot time; the
 	// zero value when no pack has a cache.
@@ -245,6 +346,10 @@ type Snapshot struct {
 func (m *Metrics) Snapshot() Snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	return m.snapshotLocked()
+}
+
+func (m *Metrics) snapshotLocked() Snapshot {
 	s := Snapshot{
 		Requests: make(map[string]map[int]uint64, len(m.requests)),
 		Rejected: m.rejected,
@@ -264,6 +369,10 @@ func (m *Metrics) Snapshot() Snapshot {
 		PanicsRecovered: m.panicsRecovered,
 		LanesRetired:    m.lanesRetired,
 		BatcherRestarts: m.batcherRestarts,
+
+		Admitted:    m.admitted,
+		Streams:     m.streams,
+		ShardDrains: m.shardDrains,
 
 		Packs: map[string]PackSnapshot{},
 	}
@@ -296,8 +405,11 @@ func (m *Metrics) Snapshot() Snapshot {
 		ps.SpecRollbacks = pc.specRollbacks
 		s.Packs[pk] = ps
 	}
-	if m.queueDepth != nil {
-		s.QueueDepth = m.queueDepth()
+	if m.load != nil {
+		s.QueueDepth, s.Inflight = m.load()
+	}
+	if m.shardStats != nil {
+		s.Shards = m.shardStats()
 	}
 	if m.packStats != nil {
 		for pk, rt := range m.packStats() {
@@ -361,11 +473,41 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintln(w, "# TYPE lejitd_batches_total counter")
 	fmt.Fprintf(w, "lejitd_batches_total %d\n", m.batches)
 
-	if m.queueDepth != nil {
-		fmt.Fprintln(w, "# HELP lejitd_queue_depth Requests waiting in the admission queue.")
+	if m.load != nil {
+		queued, inflight := m.load()
+		fmt.Fprintln(w, "# HELP lejitd_queue_depth Requests waiting in shard admission queues.")
 		fmt.Fprintln(w, "# TYPE lejitd_queue_depth gauge")
-		fmt.Fprintf(w, "lejitd_queue_depth %d\n", m.queueDepth())
+		fmt.Fprintf(w, "lejitd_queue_depth %d\n", queued)
+		fmt.Fprintln(w, "# HELP lejitd_inflight Requests admitted but not yet answered (queued plus decoding).")
+		fmt.Fprintln(w, "# TYPE lejitd_inflight gauge")
+		fmt.Fprintf(w, "lejitd_inflight %d\n", inflight)
 	}
+	if m.shardStats != nil {
+		st := m.shardStats()
+		fmt.Fprintln(w, "# HELP lejitd_shard_queue_depth Requests waiting per engine shard.")
+		fmt.Fprintln(w, "# TYPE lejitd_shard_queue_depth gauge")
+		for _, sh := range st {
+			fmt.Fprintf(w, "lejitd_shard_queue_depth{shard=\"%d\"} %d\n", sh.Shard, sh.Queued)
+		}
+		fmt.Fprintln(w, "# HELP lejitd_shard_inflight Requests admitted to an engine shard and not yet answered.")
+		fmt.Fprintln(w, "# TYPE lejitd_shard_inflight gauge")
+		for _, sh := range st {
+			fmt.Fprintf(w, "lejitd_shard_inflight{shard=\"%d\"} %d\n", sh.Shard, sh.Inflight)
+		}
+		fmt.Fprintln(w, "# HELP lejitd_shard_drains_total Shard self-drains after crossing the failure threshold.")
+		fmt.Fprintln(w, "# TYPE lejitd_shard_drains_total counter")
+		for _, sh := range st {
+			fmt.Fprintf(w, "lejitd_shard_drains_total{shard=\"%d\"} %d\n", sh.Shard, sh.Drains)
+		}
+	}
+
+	fmt.Fprintln(w, "# HELP lejitd_admitted_total Requests admitted past backpressure (includes in-flight).")
+	fmt.Fprintln(w, "# TYPE lejitd_admitted_total counter")
+	fmt.Fprintf(w, "lejitd_admitted_total %d\n", m.admitted)
+
+	fmt.Fprintln(w, "# HELP lejitd_streams_total Requests answered as SSE streams.")
+	fmt.Fprintln(w, "# TYPE lejitd_streams_total counter")
+	fmt.Fprintf(w, "lejitd_streams_total %d\n", m.streams)
 
 	fmt.Fprintln(w, "# HELP lejitd_batch_size Records coalesced per micro-batch.")
 	fmt.Fprintln(w, "# TYPE lejitd_batch_size histogram")
@@ -374,6 +516,10 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintln(w, "# HELP lejitd_request_duration_seconds End-to-end decode request latency.")
 	fmt.Fprintln(w, "# TYPE lejitd_request_duration_seconds histogram")
 	m.latency.write(w, "lejitd_request_duration_seconds")
+
+	fmt.Fprintln(w, "# HELP lejitd_stream_ttft_seconds Streaming time to first slot event (admission to first chunk).")
+	fmt.Fprintln(w, "# TYPE lejitd_stream_ttft_seconds histogram")
+	m.ttft.write(w, "lejitd_stream_ttft_seconds")
 
 	packNames := make([]string, 0, len(m.perPack))
 	for pk := range m.perPack {
@@ -471,4 +617,8 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintln(w, "# HELP lejitd_batcher_restarts_total Batcher goroutine restarts after an escaped panic.")
 	fmt.Fprintln(w, "# TYPE lejitd_batcher_restarts_total counter")
 	fmt.Fprintf(w, "lejitd_batcher_restarts_total %d\n", m.batcherRestarts)
+
+	fmt.Fprintln(w, "# HELP lejitd_router_drains_total Engine shards drained and re-cloned after repeated failures.")
+	fmt.Fprintln(w, "# TYPE lejitd_router_drains_total counter")
+	fmt.Fprintf(w, "lejitd_router_drains_total %d\n", m.shardDrains)
 }

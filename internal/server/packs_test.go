@@ -369,7 +369,12 @@ func TestReloadUnderLoad(t *testing.T) {
 	}
 	epochRules[next.EpochHex()] = tightRS
 
+	// The reloader is paced by decode traffic, not a sleep: each served
+	// impute tickles pace (non-blocking), and the reloader flips the rules
+	// once per tickle. Reloads and decodes stay interleaved at whatever rate
+	// the host actually sustains.
 	stop := make(chan struct{})
+	pace := make(chan struct{}, 1)
 	var reloads sync.WaitGroup
 	reloads.Add(1)
 	go func() {
@@ -379,7 +384,7 @@ func TestReloadUnderLoad(t *testing.T) {
 			select {
 			case <-stop:
 				return
-			default:
+			case <-pace:
 			}
 			body, _ := json.Marshal(ReloadRequest{Pack: pack.FinComplianceName, Rules: texts[i%2]})
 			resp, err := http.Post(ts.URL+"/v1/packs/reload", "application/json", strings.NewReader(string(body)))
@@ -388,7 +393,6 @@ func TestReloadUnderLoad(t *testing.T) {
 				return
 			}
 			resp.Body.Close()
-			time.Sleep(2 * time.Millisecond)
 		}
 	}()
 
@@ -406,6 +410,10 @@ func TestReloadUnderLoad(t *testing.T) {
 					`{"known": {"TotalExposure": [%d], "RiskScore": [%d], "Escalate": [%d]}, "seed": %d}`,
 					ex["TotalExposure"][0], ex["RiskScore"][0], ex["Escalate"][0], w*perWorker+i)
 				resp, data := postJSON(t, ts, "/v1/impute", body)
+				select {
+				case pace <- struct{}{}:
+				default:
+				}
 				if resp.StatusCode != http.StatusOK {
 					errs <- fmt.Sprintf("worker %d req %d: %d %s", w, i, resp.StatusCode, data)
 					continue

@@ -9,13 +9,14 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/pack"
+	"repro/internal/router"
 	"repro/internal/rules"
 )
 
@@ -43,13 +44,22 @@ type Config struct {
 	// validation).
 	Schema *rules.Schema
 
-	// BatchWindow is how long the batcher waits after the first request for
-	// more to coalesce (default 2ms).
+	// Replicas is the engine shard count (default 1). Each shard runs its
+	// own micro-batcher and engine clones behind a load-aware router; rule
+	// compilation and per-pack prefix caches are shared across shards.
+	Replicas int
+	// ShardFailureThreshold drains a shard (fresh engine clones, queued jobs
+	// redistributed) once that many of its lanes were retired by budget
+	// exhaustion or recovered panics since its last drain. Default 8;
+	// negative disables self-draining.
+	ShardFailureThreshold int
+	// BatchWindow is how long each shard's batcher waits after the first
+	// request for more to coalesce (default 2ms).
 	BatchWindow time.Duration
 	// MaxBatch caps records per micro-batch (default 32).
 	MaxBatch int
-	// QueueDepth bounds the admission queue; a full queue answers 429 with
-	// Retry-After (default 256).
+	// QueueDepth bounds total queued admissions across shards; full queues
+	// answer 429 with Retry-After (default 256, split evenly per shard).
 	QueueDepth int
 	// Workers is the decode pool size per batch (default GOMAXPROCS).
 	Workers int
@@ -90,6 +100,14 @@ type Config struct {
 }
 
 func (c *Config) fill() {
+	if c.Replicas <= 0 {
+		c.Replicas = 1
+	}
+	if c.ShardFailureThreshold == 0 {
+		c.ShardFailureThreshold = 8
+	} else if c.ShardFailureThreshold < 0 {
+		c.ShardFailureThreshold = 0 // router treats 0 as disabled
+	}
 	if c.BatchWindow <= 0 {
 		c.BatchWindow = 2 * time.Millisecond
 	}
@@ -113,49 +131,24 @@ func (c *Config) fill() {
 	}
 }
 
-// job is one admitted decode request waiting for the batcher.
-type job struct {
-	ctx    context.Context
-	prompt rules.Record // nil → unconditional generation
-	// pk is the domain pack resolved at admission time. A hot reload that
-	// lands while this job is queued does not retarget it: the job decodes
-	// on the engine (and rule epoch) it was admitted under.
-	pk        *pack.Compiled
-	seed      int64
-	decode    core.DecodeCtxFn
-	noCache   bool // request opted out of the prefix cache
-	lookahead *int // per-request speculative-window override (nil → daemon default)
-	start     time.Time
-	// resp is buffered (cap 1): the batcher never blocks delivering to a
-	// handler that already gave up on its deadline.
-	resp chan jobResult
-}
-
-type jobResult struct {
-	res       core.Result
-	err       error
-	batchSize int
-}
-
-// Server is the lejitd HTTP handler plus its micro-batching pipeline.
+// Server is the lejitd HTTP handler plus its sharded micro-batching pipeline:
+// admission control and response writing live here, dispatch and decoding live
+// in the router (one micro-batcher per engine shard).
 type Server struct {
 	cfg         Config
 	packs       *pack.Registry
 	defaultPack string
 	mux         *http.ServeMux
-	queue       chan *job
+	router      *router.Router
 	metrics     *Metrics
 	started     time.Time
 
-	draining  atomic.Bool
-	seedSeq   atomic.Int64
-	stop      chan struct{} // tells the batcher to exit
-	batcherWG sync.WaitGroup
-	closeOnce sync.Once
+	draining atomic.Bool
+	seedSeq  atomic.Int64
 }
 
-// New builds a Server and starts its batcher goroutine. Callers must Close
-// it (Serve does so on return).
+// New builds a Server and starts its shard batcher goroutines. Callers must
+// Close it (Serve does so on return).
 func New(cfg Config) (*Server, error) {
 	if cfg.Packs == nil && cfg.Engine == nil {
 		return nil, fmt.Errorf("server: Packs or Engine is required")
@@ -166,9 +159,7 @@ func New(cfg Config) (*Server, error) {
 		packs:       cfg.Packs,
 		defaultPack: cfg.DefaultPack,
 		mux:         http.NewServeMux(),
-		queue:       make(chan *job, cfg.QueueDepth),
 		started:     time.Now(),
-		stop:        make(chan struct{}),
 	}
 	if s.packs == nil {
 		// Legacy construction: wrap the single engine as the pack "default".
@@ -198,7 +189,30 @@ func New(cfg Config) (*Server, error) {
 	if _, ok := s.packs.Get(s.defaultPack); !ok {
 		return nil, fmt.Errorf("server: default pack %q is not registered (have %v)", s.defaultPack, s.packs.Names())
 	}
-	s.metrics = newMetrics(func() int { return len(s.queue) }, s.packs.Stats)
+	perShardQueue := cfg.QueueDepth / cfg.Replicas
+	if perShardQueue < 1 {
+		perShardQueue = 1
+	}
+	s.router = router.New(router.Config{
+		Replicas:         cfg.Replicas,
+		BatchWindow:      cfg.BatchWindow,
+		MaxBatch:         cfg.MaxBatch,
+		QueueDepth:       perShardQueue,
+		Workers:          cfg.Workers,
+		FailureThreshold: cfg.ShardFailureThreshold,
+		Logf:             cfg.Logf,
+		ObserveBatch:     func(shard, size int) { s.metrics.observeBatch(size) },
+		OnLaneError: func(shard int, err error) {
+			// Classify the retired lane here, not in the response writer: a
+			// handler that already gave up on its deadline never reads Resp,
+			// but the failure still happened and must be counted.
+			var pe *core.PanicError
+			s.metrics.countLaneRetired(errors.Is(err, core.ErrBudget), errors.As(err, &pe))
+		},
+		OnRestart: func(shard int) { s.metrics.countBatcherRestart() },
+		OnDrain:   func(shard, moved int) { s.metrics.countShardDrain() },
+	})
+	s.metrics = newMetrics(s.router.Load, s.router.Stats, s.packs.Stats)
 	s.mux.HandleFunc("/v1/impute", func(w http.ResponseWriter, r *http.Request) { s.handleDecode(w, r, "impute") })
 	s.mux.HandleFunc("/v1/generate", func(w http.ResponseWriter, r *http.Request) { s.handleDecode(w, r, "generate") })
 	s.mux.HandleFunc("/v1/check", s.handleCheck)
@@ -206,8 +220,6 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/v1/packs/reload", s.handlePackReload)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
-	s.batcherWG.Add(1)
-	go s.batcher()
 	return s, nil
 }
 
@@ -220,13 +232,13 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // Metrics exposes the server's counters (tests, benchmarks).
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
-// Close stops the batcher. Safe to call more than once. Requests admitted
-// after Close time out rather than decode; call only once handlers are
-// drained (Serve sequences this correctly).
-func (s *Server) Close() {
-	s.closeOnce.Do(func() { close(s.stop) })
-	s.batcherWG.Wait()
-}
+// Router exposes the engine-shard router (tests, cmd/lejitd logging).
+func (s *Server) Router() *router.Router { return s.router }
+
+// Close stops the shard batchers. Safe to call more than once. Requests
+// admitted after Close time out rather than decode; call only once handlers
+// are drained (Serve sequences this correctly).
+func (s *Server) Close() { s.router.Close() }
 
 // Serve accepts connections on l until ctx is cancelled, then drains: new
 // requests are refused with 503, in-flight requests finish (bounded by
@@ -242,7 +254,8 @@ func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 		return err
 	case <-ctx.Done():
 	}
-	s.logf("server: draining (%d queued)", len(s.queue))
+	queued, inflight := s.router.Load()
+	s.logf("server: draining (%d queued, %d in flight)", queued, inflight)
 	s.draining.Store(true)
 	sctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
 	defer cancel()
@@ -258,124 +271,23 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
-// batcher supervises the queue consumer: core's recover barriers turn lane
-// panics into per-record errors, but if one still escapes a batch (or the
-// dispatch plumbing itself panics), the loop is restarted instead of leaving
-// the daemon accepting requests that no one will ever decode. Jobs caught in
-// the dead batch fail by deadline (504); everything after resumes normally.
-func (s *Server) batcher() {
-	defer s.batcherWG.Done()
-	for !s.batcherLoop() {
-		s.metrics.countBatcherRestart()
-		s.logf("server: batcher restarted after panic")
+// retryAfter estimates when capacity frees up, from live backlog: the
+// admitted-but-unfinished count divided into micro-batches, each taking about
+// one batch window to dispatch. Clamped to [1s, 30s] — the old hardcoded "1"
+// told a client staring at a 200-deep queue to hammer the daemon once a
+// second.
+func (s *Server) retryAfter() string {
+	_, inflight := s.router.Load()
+	batches := inflight/s.cfg.MaxBatch + 1
+	est := time.Duration(batches) * s.cfg.BatchWindow
+	secs := int64((est + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
 	}
-}
-
-// batcherLoop is the single consumer of the admission queue: it takes the
-// first waiting job, keeps the window open for BatchWindow (or until
-// MaxBatch), and dispatches the batch to core.DecodeRequests so concurrent
-// callers share one worker-pool invocation and its per-clone solver state.
-// Returns true on clean stop; a panic is recovered and returns false so the
-// supervisor restarts it.
-func (s *Server) batcherLoop() (stopped bool) {
-	defer func() {
-		if r := recover(); r != nil {
-			s.logf("server: batcher panicked: %v", r)
-		}
-	}()
-	for {
-		var first *job
-		select {
-		case first = <-s.queue:
-		case <-s.stop:
-			return true
-		}
-		batch := append(make([]*job, 0, s.cfg.MaxBatch), first)
-		timer := time.NewTimer(s.cfg.BatchWindow)
-	collect:
-		for len(batch) < s.cfg.MaxBatch {
-			select {
-			case j := <-s.queue:
-				batch = append(batch, j)
-			case <-timer.C:
-				break collect
-			}
-		}
-		timer.Stop()
-		s.runBatch(batch)
+	if secs > 30 {
+		secs = 30
 	}
-}
-
-// runBatch splits one micro-batch by domain pack and decodes the groups
-// concurrently — each group is one DecodeRequests call on its own pack's
-// engine, so lock-step batching still composes within a pack while packs
-// never share solver or transformer state. Grouping is by *pack.Compiled
-// pointer, not name: jobs admitted before a hot reload decode on their
-// admission-time bundle even if a same-named newer one is in the same batch.
-func (s *Server) runBatch(batch []*job) {
-	order := make([]*pack.Compiled, 0, 1)
-	groups := make(map[*pack.Compiled][]*job, 1)
-	for _, j := range batch {
-		if _, ok := groups[j.pk]; !ok {
-			order = append(order, j.pk)
-		}
-		groups[j.pk] = append(groups[j.pk], j)
-	}
-	var wg sync.WaitGroup
-	// A panic escaping a group goroutine must not kill the process: it is
-	// re-raised on the batcher goroutine after the other groups finish, so
-	// the batcher supervisor's restart semantics are preserved.
-	panics := make(chan any, len(order))
-	for _, pk := range order {
-		wg.Add(1)
-		go func(pk *pack.Compiled, group []*job) {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					panics <- r
-				}
-			}()
-			s.runGroup(pk, group)
-		}(pk, groups[pk])
-	}
-	wg.Wait()
-	select {
-	case r := <-panics:
-		panic(r)
-	default:
-	}
-}
-
-// runGroup decodes one same-pack slice of a micro-batch and delivers each
-// job's result.
-func (s *Server) runGroup(pk *pack.Compiled, batch []*job) {
-	s.metrics.observeBatch(len(batch))
-	reqs := make([]core.BatchRequest, len(batch))
-	for i, j := range batch {
-		seed := j.seed
-		reqs[i] = core.BatchRequest{Prompt: j.prompt, Ctx: j.ctx, Seed: &seed, Decode: j.decode, NoPrefixCache: j.noCache, Lookahead: j.lookahead}
-	}
-	out, err := pk.Engine.DecodeRequests(context.Background(), reqs, s.cfg.Workers, 0, nil)
-	if err != nil {
-		// Group-level failure (engine cloning): fail every job.
-		for _, j := range batch {
-			j.resp <- jobResult{err: err, batchSize: len(batch)}
-		}
-		return
-	}
-	for i, j := range batch {
-		if out[i].Err != nil {
-			// Classify the retired lane here, not in the response writer:
-			// a handler that already gave up on its deadline never reads
-			// resp, but the failure still happened and must be counted.
-			var pe *core.PanicError
-			s.metrics.countLaneRetired(
-				errors.Is(out[i].Err, core.ErrBudget),
-				errors.As(out[i].Err, &pe),
-			)
-		}
-		j.resp <- jobResult{res: out[i].Res, err: out[i].Err, batchSize: len(batch)}
-	}
+	return strconv.FormatInt(secs, 10)
 }
 
 // decodeFnFor maps a request mode to its decode function. The baselines are
@@ -475,84 +387,121 @@ func (s *Server) serveDecode(w http.ResponseWriter, r *http.Request, route strin
 	if req.Seed != nil {
 		seed = *req.Seed
 	}
-	j := &job{
-		ctx:       ctx,
-		prompt:    req.Known,
-		pk:        pk,
-		seed:      seed,
-		decode:    decode,
-		noCache:   req.NoPrefixCache,
-		lookahead: req.Lookahead,
-		start:     time.Now(),
-		resp:      make(chan jobResult, 1),
+	j := &router.Job{
+		Ctx:           ctx,
+		Prompt:        req.Known,
+		Pack:          pk,
+		Seed:          seed,
+		Decode:        decode,
+		NoPrefixCache: req.NoPrefixCache,
+		Lookahead:     req.Lookahead,
+		Start:         time.Now(),
+		Resp:          make(chan router.Result, 1),
 	}
-	// Bounded admission: never block the handler on a full queue.
-	select {
-	case s.queue <- j:
-	default:
-		w.Header().Set("Retry-After", "1")
+	// Streaming requests thread an emit hook through the job context. The
+	// channel holds every slot (each emits exactly once), so the decoding
+	// goroutine never blocks on a slow client — the send always has room.
+	var chunks chan StreamChunk
+	if req.Stream {
+		chunks = make(chan StreamChunk, len(pk.Engine.Slots()))
+		j.Ctx = core.WithEmit(j.Ctx, func(slot int, text string) {
+			chunks <- StreamChunk{Slot: slot, Text: text}
+		})
+	}
+	// Bounded admission: never block the handler on full queues.
+	if _, ok := s.router.Submit(j); !ok {
+		w.Header().Set("Retry-After", s.retryAfter())
 		return writeError(w, http.StatusTooManyRequests, "queue full", "overloaded"), packName
 	}
+	s.metrics.noteAdmitted()
 
+	if req.Stream {
+		return s.streamDecodeResponse(w, ctx, pk, j, chunks), packName
+	}
 	select {
-	case res := <-j.resp:
-		s.metrics.observeLatency(time.Since(j.start).Seconds())
-		return s.writeDecodeResult(w, j, res), packName
+	case res := <-j.Resp:
+		s.metrics.observeLatency(time.Since(j.Start).Seconds())
+		return s.writeDecodeResult(w, pk, res), packName
 	case <-ctx.Done():
 		// The job may still be queued or decoding; its context is cancelled,
-		// so the batcher will abandon it and nobody reads resp (buffered).
-		s.metrics.observeLatency(time.Since(j.start).Seconds())
+		// so its shard will abandon it and nobody reads Resp (buffered).
+		s.metrics.observeLatency(time.Since(j.Start).Seconds())
 		s.metrics.countTimeout()
 		return writeError(w, http.StatusGatewayTimeout, "deadline exceeded", "timeout"), packName
 	}
 }
 
-func (s *Server) writeDecodeResult(w http.ResponseWriter, j *job, res jobResult) int {
-	if res.err != nil {
+// decodeOutcome is a decode result mapped to its HTTP shape, shared by the
+// unary writer and the SSE terminal event.
+type decodeOutcome struct {
+	code       int
+	status     string // machine-readable error status ("" on success)
+	errMsg     string
+	retryAfter bool // 503s that mean "try again later" carry Retry-After
+	body       *DecodeResponse
+}
+
+// buildDecodeOutcome classifies one router result. On success it also counts
+// the decode and checks compliance.
+func (s *Server) buildDecodeOutcome(pk *pack.Compiled, res router.Result) decodeOutcome {
+	if res.Err != nil {
 		var pe *core.PanicError
 		switch {
-		case errors.Is(res.err, context.DeadlineExceeded), errors.Is(res.err, context.Canceled):
+		case errors.Is(res.Err, context.DeadlineExceeded), errors.Is(res.Err, context.Canceled):
 			s.metrics.countTimeout()
-			return writeError(w, http.StatusGatewayTimeout, "deadline exceeded", "timeout")
-		case errors.Is(res.err, core.ErrBudget):
+			return decodeOutcome{code: http.StatusGatewayTimeout, status: "timeout", errMsg: "deadline exceeded"}
+		case errors.Is(res.Err, core.ErrBudget):
 			// The solver gave up inside its budget, not a proof the request
 			// is bad: the caller may retry (ideally elsewhere or later).
-			w.Header().Set("Retry-After", "1")
-			return writeError(w, http.StatusServiceUnavailable, res.err.Error(), "budget")
-		case isInfeasible(res.err):
-			return writeError(w, http.StatusUnprocessableEntity, res.err.Error(), "infeasible")
-		case errors.As(res.err, &pe):
+			return decodeOutcome{code: http.StatusServiceUnavailable, status: "budget", errMsg: res.Err.Error(), retryAfter: true}
+		case errors.Is(res.Err, router.ErrOverloaded):
+			// Admitted, then orphaned by a shard drain with no sibling room.
+			return decodeOutcome{code: http.StatusServiceUnavailable, status: "overloaded", errMsg: res.Err.Error(), retryAfter: true}
+		case isInfeasible(res.Err):
+			return decodeOutcome{code: http.StatusUnprocessableEntity, status: "infeasible", errMsg: res.Err.Error()}
+		case errors.As(res.Err, &pe):
 			// The lane panicked and was retired alone; its batch-mates are
 			// unaffected. The stack stays in the server log, not the reply.
-			return writeError(w, http.StatusInternalServerError, res.err.Error(), "panic")
+			return decodeOutcome{code: http.StatusInternalServerError, status: "panic", errMsg: res.Err.Error()}
 		default:
-			return writeError(w, http.StatusInternalServerError, res.err.Error(), "")
+			return decodeOutcome{code: http.StatusInternalServerError, errMsg: res.Err.Error()}
 		}
 	}
-	st := res.res.Stats
-	s.metrics.countDecode(j.pk.Def.Name, st.Tokens, st.SolverChecks, st.SpecAcceptedTokens, st.SpecRollbacks)
-	out := DecodeResponse{
-		Record:    res.res.Rec,
-		Line:      formatLine(j.pk.Engine, res.res.Rec),
+	st := res.Res.Stats
+	s.metrics.countDecode(pk.Def.Name, st.Tokens, st.SolverChecks, st.SpecAcceptedTokens, st.SpecRollbacks)
+	out := &DecodeResponse{
+		Record:    res.Res.Rec,
+		Line:      formatLine(pk.Engine, res.Res.Rec),
 		Compliant: true,
-		BatchSize: res.batchSize,
-		Pack:      j.pk.Def.Name,
-		Epoch:     j.pk.EpochHex(),
+		BatchSize: res.BatchSize,
+		Pack:      pk.Def.Name,
+		Epoch:     pk.EpochHex(),
 		Stats: StatsJSON{
 			Tokens: st.Tokens, MaskedSteps: st.MaskedSteps, ForcedSteps: st.ForcedSteps,
 			SolverChecks: st.SolverChecks, Attempts: st.Attempts,
 			SpecAcceptedTokens: st.SpecAcceptedTokens, SpecRollbacks: st.SpecRollbacks,
 		},
 	}
-	if j.pk.Rules != nil {
-		viol, err := j.pk.Rules.Violations(res.res.Rec)
+	if pk.Rules != nil {
+		viol, err := pk.Rules.Violations(res.Res.Rec)
 		if err != nil {
-			return writeError(w, http.StatusInternalServerError, err.Error(), "")
+			return decodeOutcome{code: http.StatusInternalServerError, errMsg: err.Error()}
 		}
 		out.Violations = viol
 		out.Compliant = len(viol) == 0
 	}
-	return writeJSON(w, http.StatusOK, out)
+	return decodeOutcome{code: http.StatusOK, body: out}
+}
+
+func (s *Server) writeDecodeResult(w http.ResponseWriter, pk *pack.Compiled, res router.Result) int {
+	o := s.buildDecodeOutcome(pk, res)
+	if o.code != http.StatusOK {
+		if o.retryAfter {
+			w.Header().Set("Retry-After", s.retryAfter())
+		}
+		return writeError(w, o.code, o.errMsg, o.status)
+	}
+	return writeJSON(w, http.StatusOK, o.body)
 }
 
 // formatLine renders a record in the engine's grammar order (digits +
@@ -698,6 +647,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"status":           status,
 		"uptime_s":         time.Since(s.started).Seconds(),
 		"max_batch":        s.cfg.MaxBatch,
+		"replicas":         s.router.Replicas(),
 		"budget_exhausted": trips,
 	})
 }
